@@ -1,0 +1,89 @@
+// Command tpgen generates TP datasets as CSV: the paper's synthetic
+// workloads (§VII-B) and the simulated real-world datasets (§VII-C).
+//
+// Usage:
+//
+//	tpgen -kind synthetic -n 100000 -facts 1 -maxlen 3 -maxgap 3 -o r.csv
+//	tpgen -kind meteo  -n 100000 -o meteo.csv
+//	tpgen -kind webkit -n 100000 -o webkit.csv
+//	tpgen -kind shifted -in meteo.csv -o meteo_shifted.csv
+//
+// The shifted kind derives a second relation per §VII-C: intervals keep
+// their lengths but move to start points drawn from the input's start
+// distribution.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tpset/tpset/internal/csvio"
+	"github.com/tpset/tpset/internal/datagen"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "synthetic", "synthetic | meteo | webkit | shifted")
+		n      = flag.Int("n", 100000, "number of tuples")
+		facts  = flag.Int("facts", 1, "number of distinct facts (synthetic)")
+		maxLen = flag.Int64("maxlen", 3, "max interval length (synthetic)")
+		maxGap = flag.Int64("maxgap", 3, "max gap between consecutive same-fact tuples (synthetic)")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		in     = flag.String("in", "", "input CSV (kind=shifted)")
+		out    = flag.String("o", "", "output CSV path (default stdout)")
+		stats  = flag.Bool("stats", false, "print Table IV statistics to stderr")
+	)
+	flag.Parse()
+
+	var (
+		r   *relation.Relation
+		err error
+	)
+	switch *kind {
+	case "synthetic":
+		r = datagen.Synthetic(datagen.SyntheticConfig{
+			Name: "r", NumTuples: *n, NumFacts: *facts,
+			MaxLen: *maxLen, MaxGap: *maxGap, Seed: *seed,
+		})
+	case "meteo":
+		r = datagen.Meteo(datagen.MeteoConfig{NumTuples: *n, Stations: 80, Seed: *seed})
+	case "webkit":
+		r = datagen.Webkit(datagen.WebkitConfig{NumTuples: *n, Seed: *seed})
+	case "shifted":
+		if *in == "" {
+			fatal("kind=shifted needs -in <csv>")
+		}
+		var base *relation.Relation
+		base, err = csvio.ReadFile(*in, "base")
+		if err != nil {
+			fatal("%v", err)
+		}
+		r = datagen.Shifted(base, "sh", *seed)
+	default:
+		fatal("unknown -kind %q", *kind)
+	}
+
+	if err := r.ValidateDuplicateFree(); err != nil {
+		fatal("generator bug: %v", err)
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, relation.ComputeStats(r))
+	}
+	if *out == "" {
+		if err := csvio.Write(os.Stdout, r); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	if err := csvio.WriteFile(*out, r); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d tuples to %s\n", r.Len(), *out)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tpgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Command tpquery evaluates a TP set query over relations stored as CSV
+// files and prints the result relation (fact, lineage, interval,
+// probability) — a minimal command-line shell for the library.
+//
+// Usage:
+//
+//	tpquery -rel a=bought.csv -rel b=ordered.csv -rel c=stock.csv \
+//	        -q "c - (a | b)"
+//
+// Flags select the execution algorithm (lawa or norm) and whether to print
+// the query's complexity classification (Theorem 1 / Corollary 1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/tpset/tpset/internal/csvio"
+	"github.com/tpset/tpset/internal/query"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+type relFlags map[string]string
+
+func (rf relFlags) String() string { return "" }
+
+func (rf relFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	rf[name] = path
+	return nil
+}
+
+func main() {
+	rels := relFlags{}
+	flag.Var(rels, "rel", "name=path.csv (repeatable)")
+	var (
+		q       = flag.String("q", "", "TP set query, e.g. \"c - (a | b)\"")
+		algo    = flag.String("algo", "lawa", "execution algorithm: lawa | norm")
+		explain = flag.Bool("explain", false, "print the parsed tree and complexity class")
+	)
+	flag.Parse()
+	if *q == "" || len(rels) == 0 {
+		fmt.Fprintln(os.Stderr, "tpquery: need -q and at least one -rel name=path")
+		os.Exit(2)
+	}
+
+	node, err := query.Parse(*q)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *explain {
+		fmt.Fprintf(os.Stderr, "query:      %s\n", node)
+		fmt.Fprintf(os.Stderr, "relations:  %s\n", strings.Join(query.Relations(node), ", "))
+		fmt.Fprintf(os.Stderr, "complexity: %s\n", query.Classify(node))
+	}
+
+	db := make(map[string]*relation.Relation, len(rels))
+	for name, path := range rels {
+		r, err := csvio.ReadFile(path, name)
+		if err != nil {
+			fatal("loading %s: %v", name, err)
+		}
+		if err := r.ValidateDuplicateFree(); err != nil {
+			fatal("%v", err)
+		}
+		db[name] = r
+	}
+
+	out, err := query.EvaluateWith(node, db, query.Algorithm(*algo))
+	if err != nil {
+		fatal("%v", err)
+	}
+	out.Sort()
+	if err := csvio.Write(os.Stdout, out); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tpquery: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Command weather demonstrates TP set operations on temporal weather
+// predictions — the application domain that motivates the paper's Meteo
+// Swiss experiments (§VII-C).
+//
+// Two forecasting models issue per-station predictions of the form "station
+// X will be above freezing" with a confidence and a validity interval.
+// Predictions are erroneous per-time-point measurements, so each carries a
+// probability. The example answers three operational questions:
+//
+//	consensus  = modelA ∩Tp modelB   — when do both models predict it?
+//	anyWarning = modelA ∪Tp modelB   — when does at least one predict it?
+//	disputed   = modelA −Tp modelB   — when does A predict it and B (at
+//	                                   least possibly) not?
+//
+// It also prints the overlapping factor of the two inputs — the §VII-B
+// dataset metric — and per-station statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/tpset/tpset"
+)
+
+const (
+	stations       = 5
+	daysPerStation = 6
+)
+
+func main() {
+	modelA := forecast("modelA", 11)
+	modelB := forecast("modelB", 23)
+
+	fmt.Printf("Model A: %d predictions, Model B: %d predictions, overlapping factor %.2f\n\n",
+		modelA.Len(), modelB.Len(), tpset.OverlapFactor(modelA, modelB))
+
+	consensus, err := tpset.Intersect(modelA, modelB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Consensus (modelA ∩Tp modelB) — both models agree, probability = P(A)·P(B):")
+	fmt.Print(consensus)
+
+	anyWarning, err := tpset.Union(modelA, modelB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAny-warning (modelA ∪Tp modelB): %d maximal intervals\n", anyWarning.Len())
+
+	disputed, err := tpset.Except(modelA, modelB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nDisputed (modelA −Tp modelB) — note tuples like a∧¬b where B overlaps" +
+		" with probability < 1:")
+	fmt.Print(disputed)
+
+	// Change preservation in action: every output interval is maximal for
+	// its lineage, and adjacent intervals always differ in lineage.
+	fmt.Println("\nPer-model statistics (Table IV metrics):")
+	fmt.Println(tpset.ComputeStats(modelA))
+}
+
+// forecast builds one model's prediction relation: per station, a chain of
+// prediction windows with varying confidence.
+func forecast(name string, seed int64) *tpset.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := tpset.NewRelation(name, "Station")
+	id := 0
+	for st := 0; st < stations; st++ {
+		fact := tpset.F(fmt.Sprintf("ZRH-%02d", st))
+		day := tpset.Time(rng.Int63n(3))
+		for d := 0; d < daysPerStation; d++ {
+			span := 1 + rng.Int63n(4)
+			conf := 0.4 + 0.55*rng.Float64()
+			r.AddBase(fact, fmt.Sprintf("%s_%d", name, id), day, day+span, conf)
+			id++
+			day += span + rng.Int63n(3)
+		}
+	}
+	return r
+}

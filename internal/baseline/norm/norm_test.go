@@ -1,0 +1,100 @@
+package norm
+
+import (
+	"testing"
+
+	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/interval"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+func rel(name string, tuples ...[3]int64) *relation.Relation {
+	r := relation.New(relation.NewSchema(name, "F"))
+	for i, t := range tuples {
+		fact := "x"
+		if t[2] != 0 {
+			fact = "y"
+		}
+		r.AddBase(relation.NewFact(fact), name+string(rune('0'+i)), t[0], t[1], 0.5)
+	}
+	return r
+}
+
+// TestNormalizeSplitsAtOverlapBoundaries: N(r, s) fragments r's intervals
+// exactly at the boundaries of overlapping same-fact s tuples.
+func TestNormalizeSplitsAtOverlapBoundaries(t *testing.T) {
+	r := rel("r", [3]int64{1, 10, 0})
+	s := rel("s", [3]int64{3, 5, 0}, [3]int64{7, 8, 0})
+	n := Normalize(r, s)
+	n.Sort()
+	want := []interval.Interval{{Ts: 1, Te: 3}, {Ts: 3, Te: 5}, {Ts: 5, Te: 7}, {Ts: 7, Te: 8}, {Ts: 8, Te: 10}}
+	if n.Len() != len(want) {
+		t.Fatalf("fragments: %s", n)
+	}
+	for i, iv := range want {
+		tu := n.Tuples[i]
+		if tu.T != iv {
+			t.Errorf("fragment %d: %v, want %v", i, tu.T, iv)
+		}
+		if tu.Lineage.String() != "r0" {
+			t.Errorf("fragment %d lineage changed: %s", i, tu.Lineage)
+		}
+	}
+}
+
+// TestNormalizeIgnoresOtherFacts: boundaries of different facts never cut.
+func TestNormalizeIgnoresOtherFacts(t *testing.T) {
+	r := rel("r", [3]int64{1, 10, 0})
+	s := rel("s", [3]int64{3, 5, 1}) // fact y
+	n := Normalize(r, s)
+	if n.Len() != 1 || n.Tuples[0].T != interval.New(1, 10) {
+		t.Fatalf("cut by foreign fact: %s", n)
+	}
+}
+
+// TestNormalizeNoOverlapNoCut: adjacent or disjoint tuples leave r intact.
+func TestNormalizeNoOverlapNoCut(t *testing.T) {
+	r := rel("r", [3]int64{1, 5, 0})
+	s := rel("s", [3]int64{5, 9, 0}) // adjacent, half-open: no overlap
+	n := Normalize(r, s)
+	if n.Len() != 1 || n.Tuples[0].T != interval.New(1, 5) {
+		t.Fatalf("adjacent tuple cut: %s", n)
+	}
+}
+
+// TestMutualNormalizationAligns: after normalizing both ways, same-fact
+// intervals are equal or disjoint — the property the hash join relies on.
+func TestMutualNormalizationAligns(t *testing.T) {
+	r := rel("r", [3]int64{1, 10, 0}, [3]int64{12, 20, 0})
+	s := rel("s", [3]int64{5, 15, 0})
+	rn := Normalize(r, s)
+	sn := Normalize(s, r)
+	for i := range rn.Tuples {
+		for j := range sn.Tuples {
+			a, b := rn.Tuples[i].T, sn.Tuples[j].T
+			if a.Overlaps(b) && a != b {
+				t.Fatalf("misaligned fragments %v and %v", a, b)
+			}
+		}
+	}
+}
+
+// TestApplyOpsGolden: the three set operations on a miniature case.
+func TestApplyOpsGolden(t *testing.T) {
+	r := rel("r", [3]int64{1, 5, 0})
+	s := rel("s", [3]int64{3, 8, 0})
+	u := Apply(core.OpUnion, r, s)
+	if u.Len() != 3 { // [1,3) r, [3,5) r∨s, [5,8) s
+		t.Fatalf("union: %s", u)
+	}
+	i := Apply(core.OpIntersect, r, s)
+	if i.Len() != 1 || i.Tuples[0].T != interval.New(3, 5) {
+		t.Fatalf("intersect: %s", i)
+	}
+	e := Apply(core.OpExcept, r, s)
+	e.Sort()
+	if e.Len() != 2 || e.Tuples[0].Lineage.String() != "r0" ||
+		e.Tuples[1].Lineage.String() != "r0∧¬s0" {
+		t.Fatalf("except: %s", e)
+	}
+}

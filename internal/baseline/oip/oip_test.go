@@ -1,0 +1,103 @@
+package oip
+
+import (
+	"testing"
+
+	"github.com/tpset/tpset/internal/interval"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+func rel(name, fact string, spans ...[2]int64) *relation.Relation {
+	r := relation.New(relation.NewSchema(name, "F"))
+	for i, s := range spans {
+		r.AddBase(relation.NewFact(fact), name+string(rune('0'+i)), s[0], s[1], 0.5)
+	}
+	return r
+}
+
+// TestPartitionSmallestFit: each tuple lands in the partition spanning
+// exactly its granule range.
+func TestPartitionSmallestFit(t *testing.T) {
+	r := rel("r", "x", [2]int64{0, 10}, [2]int64{10, 20}, [2]int64{0, 40}, [2]int64{35, 40})
+	p := Partition(r, interval.New(0, 40), 4) // granule width 10
+	if len(p.parts) != 4 {
+		t.Fatalf("partitions: %d", len(p.parts))
+	}
+	check := func(key [2]int32, n int) {
+		t.Helper()
+		if len(p.parts[key]) != n {
+			t.Errorf("partition %v: %d tuples, want %d", key, len(p.parts[key]), n)
+		}
+	}
+	check([2]int32{0, 0}, 1) // [0,10) → granule 0 only
+	check([2]int32{1, 1}, 1) // [10,20) → granule 1
+	check([2]int32{0, 3}, 1) // [0,40) spans all
+	check([2]int32{3, 3}, 1) // [35,40) → granule 3
+}
+
+func TestPartitionDegenerateK(t *testing.T) {
+	r := rel("r", "x", [2]int64{0, 5})
+	p := Partition(r, interval.New(0, 5), 0) // k < 1 clamps to 1
+	if len(p.parts) != 1 {
+		t.Fatal("k clamp")
+	}
+}
+
+func TestAdaptiveGranules(t *testing.T) {
+	if AdaptiveGranules(10) != DefaultGranules {
+		t.Error("small n must clamp to DefaultGranules")
+	}
+	if AdaptiveGranules(80000) != 10000 {
+		t.Errorf("adaptive: %d", AdaptiveGranules(80000))
+	}
+}
+
+func TestIntersectBasic(t *testing.T) {
+	r := rel("r", "x", [2]int64{1, 6})
+	s := rel("s", "x", [2]int64{4, 9})
+	got := Intersect(r, s)
+	if got.Len() != 1 || got.Tuples[0].T != interval.New(4, 6) {
+		t.Fatalf("intersect: %s", got)
+	}
+}
+
+// TestIntersectFactGrouping: the §VII-A extension — different facts never
+// join even with identical intervals, and each fact group gets its own
+// partitioning domain.
+func TestIntersectFactGrouping(t *testing.T) {
+	r := relation.New(relation.NewSchema("r", "F"))
+	r.AddBase(relation.NewFact("x"), "r0", 1, 5, 0.5)
+	r.AddBase(relation.NewFact("y"), "r1", 1, 5, 0.5)
+	s := relation.New(relation.NewSchema("s", "F"))
+	s.AddBase(relation.NewFact("x"), "s0", 1, 5, 0.5)
+	s.AddBase(relation.NewFact("z"), "s1", 1, 5, 0.5)
+	got := Intersect(r, s)
+	if got.Len() != 1 || got.Tuples[0].Fact.Key() != "x" {
+		t.Fatalf("fact grouping: %s", got)
+	}
+}
+
+// TestIntersectAcrossGranuleBoundaries: tuples spanning many granules
+// (coarse partitions) still find all partners — the multi-width class
+// lookup must consider every width.
+func TestIntersectAcrossGranuleBoundaries(t *testing.T) {
+	r := rel("r", "x", [2]int64{0, 1000})                                        // one huge tuple
+	s := rel("s", "x", [2]int64{10, 12}, [2]int64{500, 502}, [2]int64{990, 995}) // small ones
+	for _, k := range []int{1, 2, 16, 256} {
+		got := IntersectK(r, s, k)
+		if got.Len() != 3 {
+			t.Fatalf("k=%d: %d outputs\n%s", k, got.Len(), got)
+		}
+	}
+}
+
+// TestIntersectAdjacent: half-open adjacency never joins.
+func TestIntersectAdjacent(t *testing.T) {
+	r := rel("r", "x", [2]int64{1, 5})
+	s := rel("s", "x", [2]int64{5, 9})
+	for _, k := range []int{1, 8, 1024} {
+		if got := IntersectK(r, s, k); got.Len() != 0 {
+			t.Fatalf("k=%d: adjacent joined: %s", k, got)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package timeline
+
+import (
+	"testing"
+
+	"github.com/tpset/tpset/internal/interval"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+func rel(name, fact string, spans ...[2]int64) *relation.Relation {
+	r := relation.New(relation.NewSchema(name, "F"))
+	for i, s := range spans {
+		r.AddBase(relation.NewFact(fact), name+string(rune('0'+i)), s[0], s[1], 0.5)
+	}
+	return r
+}
+
+func TestBuildEventOrder(t *testing.T) {
+	r := rel("r", "x", [2]int64{5, 9}, [2]int64{1, 5})
+	ix := Build(r)
+	if ix.Len() != 4 {
+		t.Fatalf("events: %d", ix.Len())
+	}
+	// Events must be time-ordered with ends before starts at equal points
+	// (so that [1,5) and [5,9) never pair).
+	prev := ix.events[0]
+	for _, ev := range ix.events[1:] {
+		if ev.t < prev.t {
+			t.Fatalf("events unordered")
+		}
+		if ev.t == prev.t && prev.start && !ev.start {
+			t.Fatalf("start before end at t=%d", ev.t)
+		}
+		prev = ev
+	}
+}
+
+func TestIntersectAdjacentNoPair(t *testing.T) {
+	r := rel("r", "x", [2]int64{1, 5})
+	s := rel("s", "x", [2]int64{5, 9})
+	if got := Intersect(r, s); got.Len() != 0 {
+		t.Fatalf("adjacent tuples paired: %s", got)
+	}
+}
+
+func TestIntersectPostPairingFilter(t *testing.T) {
+	// Same time span, different facts: the merge join pairs them and the
+	// fact filter must reject the pair afterwards.
+	r := rel("r", "x", [2]int64{1, 5})
+	s := rel("s", "y", [2]int64{1, 5})
+	if got := Intersect(r, s); got.Len() != 0 {
+		t.Fatalf("fact filter failed: %s", got)
+	}
+}
+
+func TestIntersectPairsOncePerPair(t *testing.T) {
+	// Identical intervals starting at the same point: exactly one output
+	// (the r-starts-first tie-break must not double-pair).
+	r := rel("r", "x", [2]int64{2, 7})
+	s := rel("s", "x", [2]int64{2, 7})
+	got := Intersect(r, s)
+	if got.Len() != 1 || got.Tuples[0].T != interval.New(2, 7) {
+		t.Fatalf("pairing wrong: %s", got)
+	}
+	if got.Tuples[0].Lineage.String() != "r0∧s0" {
+		t.Fatalf("lineage: %s", got.Tuples[0].Lineage)
+	}
+}
+
+func TestIntersectManyActive(t *testing.T) {
+	// One long s tuple, several r tuples inside: each r start pairs with
+	// the active s exactly once.
+	r := rel("r", "x", [2]int64{1, 3}, [2]int64{4, 6}, [2]int64{7, 9})
+	s := rel("s", "x", [2]int64{0, 10})
+	got := Intersect(r, s)
+	got.Sort()
+	if got.Len() != 3 {
+		t.Fatalf("outputs: %s", got)
+	}
+	for i, want := range []interval.Interval{{Ts: 1, Te: 3}, {Ts: 4, Te: 6}, {Ts: 7, Te: 9}} {
+		if got.Tuples[i].T != want {
+			t.Errorf("output %d: %v", i, got.Tuples[i].T)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package tpdbg
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/interval"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+func rel(name string, spans ...[2]int64) *relation.Relation {
+	r := relation.New(relation.NewSchema(name, "F"))
+	for i, s := range spans {
+		r.AddBase(relation.NewFact("x"), name+string(rune('0'+i)), s[0], s[1], 0.5)
+	}
+	return r
+}
+
+// TestGroundingRulesCoverAllOverlapCases: one pair per Allen overlap
+// relation, each must produce exactly one grounded tuple with the overlap
+// interval.
+func TestGroundingRulesCoverAllOverlapCases(t *testing.T) {
+	base := [2]int64{10, 20}
+	cases := []struct {
+		name string
+		rIv  [2]int64
+		want interval.Interval
+	}{
+		{"overlaps", [2]int64{5, 15}, interval.New(10, 15)},
+		{"overlappedBy", [2]int64{15, 25}, interval.New(15, 20)},
+		{"during", [2]int64{12, 18}, interval.New(12, 18)},
+		{"contains", [2]int64{5, 25}, interval.New(10, 20)},
+		{"equals", [2]int64{10, 20}, interval.New(10, 20)},
+		{"starts", [2]int64{10, 15}, interval.New(10, 15)},
+		{"startedBy", [2]int64{10, 25}, interval.New(10, 20)},
+		{"finishes", [2]int64{15, 20}, interval.New(15, 20)},
+		{"finishedBy", [2]int64{5, 20}, interval.New(10, 20)},
+	}
+	for _, tc := range cases {
+		r := rel("r", tc.rIv)
+		s := rel("s", base)
+		got, err := Apply(core.OpIntersect, r, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != 1 {
+			t.Errorf("%s: %d grounded tuples (duplicate or missing rule?)\n%s",
+				tc.name, got.Len(), got)
+			continue
+		}
+		if got.Tuples[0].T != tc.want {
+			t.Errorf("%s: interval %v, want %v", tc.name, got.Tuples[0].T, tc.want)
+		}
+	}
+	// Non-overlapping relations ground nothing.
+	for _, iv := range [][2]int64{{1, 5}, {5, 10}, {20, 25}, {25, 30}} {
+		got, err := Apply(core.OpIntersect, rel("r", iv), rel("s", base))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != 0 {
+			t.Errorf("no-overlap case %v grounded %d tuples", iv, got.Len())
+		}
+	}
+}
+
+func TestDifferenceUnsupported(t *testing.T) {
+	_, err := Apply(core.OpExcept, rel("r", [2]int64{1, 5}), rel("s", [2]int64{2, 6}))
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("want ErrUnsupported, got %v", err)
+	}
+}
+
+// TestDeduplicateSplitsAndDisjuncts: the dedup stage fragments overlapping
+// same-fact tuples and ∨-combines coinciding fragments.
+func TestDeduplicateSplitsAndDisjuncts(t *testing.T) {
+	r := rel("r", [2]int64{1, 6}, [2]int64{4, 9})
+	// Deliberately duplicate input (overlapping same fact) — what
+	// grounding a union produces.
+	d := Deduplicate(r)
+	d.Sort()
+	if err := d.ValidateDuplicateFree(); err != nil {
+		t.Fatal(err)
+	}
+	wants := []struct {
+		iv  interval.Interval
+		lam string
+	}{
+		{interval.New(1, 4), "r0"},
+		{interval.New(4, 6), "r0∨r1"},
+		{interval.New(6, 9), "r1"},
+	}
+	if d.Len() != len(wants) {
+		t.Fatalf("fragments: %s", d)
+	}
+	for i, w := range wants {
+		if d.Tuples[i].T != w.iv || d.Tuples[i].Lineage.String() != w.lam {
+			t.Errorf("fragment %d: %v", i, d.Tuples[i])
+		}
+	}
+}
+
+func TestUnionViaConcatenationAndDedup(t *testing.T) {
+	r := rel("r", [2]int64{1, 6})
+	s := rel("s", [2]int64{4, 9})
+	got, err := Apply(core.OpUnion, r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Sort()
+	if got.Len() != 3 || got.Tuples[1].Lineage.String() != "r0∨s0" {
+		t.Fatalf("union: %s", got)
+	}
+}

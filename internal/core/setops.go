@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/tpset/tpset/internal/lineage"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// Options controls the set-operation drivers.
+type Options struct {
+	// AssumeSorted skips the sort step when the caller guarantees both
+	// inputs are already in (fact, Ts) order. The drivers then run without
+	// copying the inputs.
+	AssumeSorted bool
+	// LazyProb leaves the probability of output tuples unvaluated (zero).
+	// By default probabilities are computed eagerly, which is linear per
+	// tuple for the 1OF lineage produced by non-repeating queries.
+	LazyProb bool
+	// Validate additionally checks that both inputs are duplicate-free
+	// before running (O(n log n)); intended for data of unknown provenance.
+	Validate bool
+}
+
+// Op identifies a TP set operation.
+type Op int
+
+// The three TP set operations of Def. 3.
+const (
+	OpUnion Op = iota
+	OpIntersect
+	OpExcept
+)
+
+// String returns the paper's symbol for the operation.
+func (op Op) String() string {
+	switch op {
+	case OpUnion:
+		return "∪Tp"
+	case OpIntersect:
+		return "∩Tp"
+	case OpExcept:
+		return "−Tp"
+	}
+	return fmt.Sprintf("Op(%d)", int(op))
+}
+
+// Apply dispatches to Union, Intersect or Except.
+func Apply(op Op, r, s *relation.Relation, opts Options) (*relation.Relation, error) {
+	switch op {
+	case OpUnion:
+		return Union(r, s, opts)
+	case OpIntersect:
+		return Intersect(r, s, opts)
+	case OpExcept:
+		return Except(r, s, opts)
+	}
+	return nil, fmt.Errorf("core: unknown operation %v", op)
+}
+
+func prepare(r, s *relation.Relation, opts Options) (rr, ss *relation.Relation, err error) {
+	if !r.Schema.Compatible(s.Schema) {
+		return nil, nil, fmt.Errorf("core: incompatible schemas %q (%d attrs) and %q (%d attrs)",
+			r.Schema.Name, len(r.Schema.Attrs), s.Schema.Name, len(s.Schema.Attrs))
+	}
+	if opts.Validate {
+		if err := r.ValidateDuplicateFree(); err != nil {
+			return nil, nil, err
+		}
+		if err := s.ValidateDuplicateFree(); err != nil {
+			return nil, nil, err
+		}
+	}
+	if opts.AssumeSorted {
+		return r, s, nil
+	}
+	rr, ss = r.Clone(), s.Clone()
+	rr.Sort()
+	ss.Sort()
+	return rr, ss, nil
+}
+
+func emit(out *relation.Relation, w Window, lam *lineage.Expr, opts Options) {
+	t := relation.NewDerivedLazy(w.Fact, lam, w.Interval())
+	if !opts.LazyProb {
+		t.ComputeProb()
+	}
+	out.Tuples = append(out.Tuples, t)
+}
+
+// Intersect computes r ∩Tp s (Algorithm 2): at each time point, the facts
+// with non-zero probability to be in r and in s, with lineage
+// and(λr, λs). Windows are consumed until either input is exhausted — once
+// one side can no longer contribute a valid tuple, no further window can
+// pass the λ-filter λr ≠ null ∧ λs ≠ null.
+func Intersect(r, s *relation.Relation, opts Options) (*relation.Relation, error) {
+	rr, ss, err := prepare(r, s, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(outSchema(r, s, "∩Tp"))
+	a := NewAdvancer(rr, ss)
+	for !a.RExhausted() && !a.SExhausted() {
+		w, ok := a.Next()
+		if !ok {
+			break
+		}
+		if w.LamR != nil && w.LamS != nil { // λ-filter
+			emit(out, w, lineage.And(w.LamR, w.LamS), opts) // λ-function
+		}
+	}
+	return out, nil
+}
+
+// Union computes r ∪Tp s (Algorithm 3): at each time point, the facts with
+// non-zero probability to be in r or in s, with lineage or(λr, λs). Every
+// candidate window passes the filter (the advancer never emits a window
+// without a valid tuple), so the loop drains both inputs.
+func Union(r, s *relation.Relation, opts Options) (*relation.Relation, error) {
+	rr, ss, err := prepare(r, s, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(outSchema(r, s, "∪Tp"))
+	a := NewAdvancer(rr, ss)
+	for {
+		w, ok := a.Next()
+		if !ok {
+			break
+		}
+		if w.LamR != nil || w.LamS != nil { // λ-filter
+			emit(out, w, lineage.Or(w.LamR, w.LamS), opts) // λ-function
+		}
+	}
+	return out, nil
+}
+
+// Except computes r −Tp s (Algorithm 4): at each time point, the facts with
+// non-zero probability to be in r and not in s, with lineage
+// andNot(λr, λs) — which is λr alone when no s tuple is valid, and
+// λr ∧ ¬λs otherwise (the probabilistic dimension keeps facts that s holds
+// with probability < 1). Windows are consumed until the left input is
+// exhausted.
+func Except(r, s *relation.Relation, opts Options) (*relation.Relation, error) {
+	rr, ss, err := prepare(r, s, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(outSchema(r, s, "−Tp"))
+	a := NewAdvancer(rr, ss)
+	for !a.RExhausted() {
+		w, ok := a.Next()
+		if !ok {
+			break
+		}
+		if w.LamR != nil { // λ-filter
+			emit(out, w, lineage.AndNot(w.LamR, w.LamS), opts) // λ-function
+		}
+	}
+	return out, nil
+}
+
+func outSchema(r, s *relation.Relation, opSym string) relation.Schema {
+	name := r.Schema.Name + opSym + s.Schema.Name
+	return relation.Schema{Name: name, Attrs: r.Schema.Attrs}
+}
+
+// Windows runs the advancer to completion and returns every candidate
+// window, in order. It exists for tests (Example 3, Proposition 1) and for
+// the ablation benchmark that decouples window production from filtering.
+func Windows(r, s *relation.Relation) []Window {
+	rr, ss := r.Clone(), s.Clone()
+	rr.Sort()
+	ss.Sort()
+	a := NewAdvancer(rr, ss)
+	var ws []Window
+	for {
+		w, ok := a.Next()
+		if !ok {
+			return ws
+		}
+		ws = append(ws, w)
+	}
+}

@@ -1,0 +1,210 @@
+// Package core implements the paper's primary contribution: the
+// lineage-aware temporal window, the lineage-aware window advancer (LAWA,
+// Algorithm 1) and the three temporal-probabilistic set operations built on
+// it (Algorithms 2–4: Intersect, Union, Except).
+//
+// The implementation follows the four-step process of Fig. 5:
+//
+//	sort → LAWA → λ-filter → λ-function
+//
+// Input relations are sorted by (fact, Ts); the advancer sweeps their start
+// and end points producing candidate windows; each window is filtered and
+// its output lineage finalized immediately, with no intermediate buffers.
+// The overall complexity is O(|r| log |r| + |s| log |s|) time and O(1)
+// additional space, against the quadratic behaviour of the timestamp-
+// adjustment and grounding baselines.
+package core
+
+import (
+	"fmt"
+
+	"github.com/tpset/tpset/internal/interval"
+	"github.com/tpset/tpset/internal/lineage"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// Window is a lineage-aware temporal window with schema
+// (F, winTs, winTe, λr, λs): a candidate output interval [WinTs, WinTe)
+// for fact Fact, annotated with the lineage of the tuple of the left input
+// relation valid throughout the window (LamR, nil when none) and likewise
+// for the right input relation (LamS).
+//
+// Because the two lineages are recorded separately, a single window stream
+// serves all three set operations: each operation filters windows and
+// combines LamR/LamS with its own lineage-concatenation function.
+type Window struct {
+	Fact  relation.Fact
+	WinTs interval.Time
+	WinTe interval.Time
+	LamR  *lineage.Expr
+	LamS  *lineage.Expr
+}
+
+// Interval returns the window's candidate output interval.
+func (w Window) Interval() interval.Interval {
+	return interval.Interval{Ts: w.WinTs, Te: w.WinTe}
+}
+
+// String renders the window like ('milk',[1,2), c1, null).
+func (w Window) String() string {
+	return fmt.Sprintf("(%s,[%d,%d), %s, %s)", w.Fact, w.WinTs, w.WinTe, w.LamR, w.LamS)
+}
+
+// Advancer is the lineage-aware window advancer. It carries the status
+// structure of Algorithm 1: the boundary of the previous window, the fact
+// currently being processed, the currently valid tuple of each input
+// relation, and cursors over the two (fact, Ts)-sorted inputs.
+//
+// Each call to Next produces the next candidate window in (fact, time)
+// order, or ok=false when both relations are exhausted. The advancer never
+// produces a window during which no input tuple is valid, and every window
+// boundary coincides with a start or end point of an input tuple, so the
+// number of windows is bounded by Proposition 1 (≤ nr + ns − fd candidate
+// windows for nr, ns start/end points and fd distinct facts).
+type Advancer struct {
+	r, s   []relation.Tuple // sorted inputs
+	ri, si int              // cursors: next unprocessed tuple
+
+	prevWinTe interval.Time
+	currFact  string
+	currFactV relation.Fact
+	rValid    *relation.Tuple
+	sValid    *relation.Tuple
+}
+
+// NewAdvancer returns an advancer over two relations that must already be
+// sorted by (fact, Ts) — the sort step of Fig. 5. Sortedness is a
+// precondition; relation.Relation.Sort establishes it.
+func NewAdvancer(r, s *relation.Relation) *Advancer {
+	return &Advancer{r: r.Tuples, s: s.Tuples, prevWinTe: -1}
+}
+
+// RExhausted reports whether the left input is fully consumed: no upcoming
+// tuple and no currently valid tuple. Except uses it as its termination
+// condition (windows beyond this point can never satisfy λr ≠ null).
+func (a *Advancer) RExhausted() bool { return a.ri >= len(a.r) && a.rValid == nil }
+
+// SExhausted is the right-hand counterpart of RExhausted.
+func (a *Advancer) SExhausted() bool { return a.si >= len(a.s) && a.sValid == nil }
+
+func (a *Advancer) peekR() *relation.Tuple {
+	if a.ri < len(a.r) {
+		return &a.r[a.ri]
+	}
+	return nil
+}
+
+func (a *Advancer) peekS() *relation.Tuple {
+	if a.si < len(a.s) {
+		return &a.s[a.si]
+	}
+	return nil
+}
+
+// Next produces the next lineage-aware temporal window. It implements
+// Algorithm 1 of the paper with two repairs that the pseudocode glosses
+// over: (i) when both upcoming tuples start a new fact group, the
+// lexicographically smaller fact is opened first (the inputs are sorted by
+// fact before time, so comparing start points across different facts would
+// be meaningless), and (ii) the right window boundary only considers
+// upcoming tuples of the fact currently being processed.
+func (a *Advancer) Next() (Window, bool) {
+	r, s := a.peekR(), a.peekS()
+
+	var winTs interval.Time
+	if a.rValid == nil && a.sValid == nil {
+		// No tuple carries over from the previous window: the next window
+		// starts at an upcoming tuple (possibly opening a new fact group).
+		switch {
+		case r == nil && s == nil:
+			return Window{}, false
+		case s == nil:
+			winTs = r.T.Ts
+			a.setFact(r)
+		case r == nil:
+			winTs = s.T.Ts
+			a.setFact(s)
+		default:
+			rSame, sSame := r.Key() == a.currFact, s.Key() == a.currFact
+			switch {
+			case rSame && !sSame:
+				winTs = r.T.Ts
+			case !rSame && sSame:
+				winTs = s.T.Ts
+			case rSame && sSame:
+				winTs = interval.Min(r.T.Ts, s.T.Ts)
+			default:
+				// Both open a new fact group: take the smaller fact; on
+				// equal facts, the earlier start.
+				rk, sk := r.Key(), s.Key()
+				switch {
+				case rk < sk:
+					winTs = r.T.Ts
+					a.setFact(r)
+				case sk < rk:
+					winTs = s.T.Ts
+					a.setFact(s)
+				default:
+					winTs = interval.Min(r.T.Ts, s.T.Ts)
+					a.setFact(r)
+				}
+			}
+		}
+	} else {
+		// At least one tuple is still valid: the window continues
+		// seamlessly from the previous one (change preservation).
+		winTs = a.prevWinTe
+	}
+
+	// Admit upcoming tuples that become valid exactly at winTs.
+	if r != nil && r.Key() == a.currFact && r.T.Ts == winTs {
+		a.rValid = r
+		a.ri++
+		r = a.peekR()
+	}
+	if s != nil && s.Key() == a.currFact && s.T.Ts == winTs {
+		a.sValid = s
+		a.si++
+		s = a.peekS()
+	}
+
+	// The right boundary is the earliest of: end points of the valid
+	// tuples, and start points of the next tuples of the same fact (a start
+	// point marks a change in the set of valid tuples).
+	winTe := interval.Time(1<<63 - 1)
+	if a.rValid != nil {
+		winTe = interval.Min(winTe, a.rValid.T.Te)
+	}
+	if a.sValid != nil {
+		winTe = interval.Min(winTe, a.sValid.T.Te)
+	}
+	if r != nil && r.Key() == a.currFact {
+		winTe = interval.Min(winTe, r.T.Ts)
+	}
+	if s != nil && s.Key() == a.currFact {
+		winTe = interval.Min(winTe, s.T.Ts)
+	}
+
+	w := Window{Fact: a.currFactV, WinTs: winTs, WinTe: winTe}
+	if a.rValid != nil {
+		w.LamR = a.rValid.Lineage
+	}
+	if a.sValid != nil {
+		w.LamS = a.sValid.Lineage
+	}
+
+	// Expire tuples whose end point coincides with the window boundary.
+	if a.rValid != nil && a.rValid.T.Te == winTe {
+		a.rValid = nil
+	}
+	if a.sValid != nil && a.sValid.T.Te == winTe {
+		a.sValid = nil
+	}
+	a.prevWinTe = winTe
+	return w, true
+}
+
+func (a *Advancer) setFact(t *relation.Tuple) {
+	a.currFact = t.Key()
+	a.currFactV = t.Fact
+}

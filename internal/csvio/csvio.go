@@ -1,0 +1,120 @@
+// Package csvio loads and stores TP relations as CSV files.
+//
+// The on-disk layout has one row per base tuple:
+//
+//	fact_1,...,fact_m,id,ts,te,p
+//
+// with a header row naming the conventional attributes followed by the
+// fixed columns "lineage", "ts", "te", "p". Only base relations round-trip:
+// derived lineage is written in its rendered form and read back as an
+// opaque fresh variable carrying the tuple's probability, which preserves
+// facts, intervals and marginals but not the original formula structure
+// (documented limitation; serialize formulas with the lineage renderer when
+// structure matters).
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// Write stores r as CSV.
+func Write(w io.Writer, r *relation.Relation) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, r.Schema.Attrs...), "lineage", "ts", "te", "p")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range r.Tuples {
+		t := &r.Tuples[i]
+		row := append(append([]string{}, t.Fact...),
+			t.Lineage.String(),
+			strconv.FormatInt(t.T.Ts, 10),
+			strconv.FormatInt(t.T.Te, 10),
+			strconv.FormatFloat(t.Prob, 'g', -1, 64),
+		)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFile stores r at path.
+func WriteFile(path string, r *relation.Relation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read loads a relation named name from CSV. Every row becomes a base tuple
+// whose lineage variable is the row's lineage column (assumed to be a
+// unique identifier within the file).
+func Read(rd io.Reader, name string) (*relation.Relation, error) {
+	cr := csv.NewReader(rd)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("csvio: reading header: %w", err)
+	}
+	if len(header) < 5 {
+		return nil, fmt.Errorf("csvio: header needs at least one fact column plus lineage,ts,te,p; got %d columns", len(header))
+	}
+	nf := len(header) - 4
+	rel := relation.New(relation.NewSchema(name, header[:nf]...))
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csvio: line %d: %w", line, err)
+		}
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("csvio: line %d: %d columns, want %d", line, len(row), len(header))
+		}
+		ts, err := strconv.ParseInt(row[nf+1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("csvio: line %d: ts: %w", line, err)
+		}
+		te, err := strconv.ParseInt(row[nf+2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("csvio: line %d: te: %w", line, err)
+		}
+		p, err := strconv.ParseFloat(row[nf+3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("csvio: line %d: p: %w", line, err)
+		}
+		if ts >= te {
+			return nil, fmt.Errorf("csvio: line %d: empty interval [%d,%d)", line, ts, te)
+		}
+		if p <= 0 || p > 1 {
+			return nil, fmt.Errorf("csvio: line %d: probability %v outside (0,1]", line, p)
+		}
+		rel.AddBase(relation.Fact(row[:nf]), row[nf], ts, te, p)
+	}
+	return rel, nil
+}
+
+// ReadFile loads the relation stored at path; the relation is named after
+// the file.
+func ReadFile(path, name string) (*relation.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f, name)
+}

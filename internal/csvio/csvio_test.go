@@ -1,0 +1,95 @@
+package csvio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/tpset/tpset/internal/datagen"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+func sample() *relation.Relation {
+	r := relation.New(relation.NewSchema("r", "Product", "City"))
+	r.AddBase(relation.NewFact("milk", "zurich"), "r1", 1, 4, 0.6)
+	r.AddBase(relation.NewFact("chips", "basel"), "r2", 2, 9, 0.8)
+	return r
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := relation.Diff(got, sample()); d != "" {
+		t.Fatalf("round trip: %s", d)
+	}
+	if len(got.Schema.Attrs) != 2 || got.Schema.Attrs[0] != "Product" {
+		t.Errorf("schema: %v", got.Schema)
+	}
+}
+
+func TestRoundTripGenerated(t *testing.T) {
+	r := datagen.Synthetic(datagen.SyntheticConfig{
+		Name: "g", NumTuples: 500, NumFacts: 9, MaxLen: 7, MaxGap: 2, Seed: 4,
+	})
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := relation.Diff(got, r); d != "" {
+		t.Fatalf("round trip: %s", d)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, data, wantErr string
+	}{
+		{"short header", "a,b\n", "header"},
+		{"bad ts", "F,lineage,ts,te,p\nx,r1,zz,3,0.5\n", "ts"},
+		{"bad te", "F,lineage,ts,te,p\nx,r1,1,zz,0.5\n", "te"},
+		{"bad p", "F,lineage,ts,te,p\nx,r1,1,3,zz\n", "p"},
+		{"empty interval", "F,lineage,ts,te,p\nx,r1,3,3,0.5\n", "interval"},
+		{"p out of range", "F,lineage,ts,te,p\nx,r1,1,3,1.5\n", "probability"},
+		{"column mismatch", "F,lineage,ts,te,p\nx,r1,1,3\n", ""},
+	}
+	for _, tc := range cases {
+		_, err := Read(strings.NewReader(tc.data), "r")
+		if err == nil {
+			t.Errorf("%s: want error", tc.name)
+			continue
+		}
+		if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.csv")
+	if err := WriteFile(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := relation.Diff(got, sample()); d != "" {
+		t.Fatalf("file round trip: %s", d)
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.csv"), "x"); !os.IsNotExist(err) {
+		t.Errorf("missing file: %v", err)
+	}
+}

@@ -1,0 +1,614 @@
+// Package lineage implements the data-lineage Boolean formulas of the
+// temporal-probabilistic data model.
+//
+// A lineage expression λ is a Boolean formula over base-tuple identifiers
+// (Boolean random variables assumed independent) combined with ¬, ∧ and ∨.
+// The package provides:
+//
+//   - construction of formulas, including the three lineage-concatenation
+//     functions and/andNot/or of Table I of the paper;
+//   - the one-occurrence-form (1OF) test underlying Theorem 1;
+//   - probability valuation: a linear-time evaluator that is exact for 1OF
+//     formulas (independent subformulas), an exact Shannon-expansion
+//     evaluator for arbitrary formulas, a Monte-Carlo estimator, and a
+//     possible-worlds enumeration oracle used by the test suite;
+//   - canonical (syntactic) rendering used for the change-preservation
+//     comparisons, following footnote 1 of the paper: logical equivalence
+//     checking is co-NP-complete, so the implementation compares lineage
+//     syntactically.
+//
+// Expressions are immutable and may share subtrees freely; all constructors
+// reuse their operands without copying, so composing lineage during query
+// evaluation is O(1) per operation.
+package lineage
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates the four node types of a lineage expression.
+type Kind uint8
+
+// Expression node kinds.
+const (
+	KindVar Kind = iota
+	KindNot
+	KindAnd
+	KindOr
+)
+
+// Expr is an immutable lineage expression. A nil *Expr represents the
+// paper's "null" lineage: the absence of any tuple with the given fact at a
+// time point.
+type Expr struct {
+	kind Kind
+	// id and prob are set for KindVar nodes: the base-tuple identifier and
+	// its marginal probability.
+	id   string
+	prob float64
+	// operands: Not has one, And/Or have exactly two (formulas are built by
+	// the binary concatenation functions, as in the paper).
+	left, right *Expr
+
+	// Cached derived properties, computed at construction; they make
+	// IsOneOccurrence and the linear evaluator O(1) and O(n) respectively.
+	size    int  // number of nodes
+	varsN   int  // number of variable occurrences
+	oneOcc  bool // no variable occurs twice anywhere below this node
+	varsKey uint64
+}
+
+// Var returns an atomic lineage expression for a base tuple with the given
+// identifier and marginal probability p ∈ (0, 1].
+func Var(id string, p float64) *Expr {
+	if p <= 0 || p > 1 {
+		panic(fmt.Sprintf("lineage: probability %v of %q outside (0,1]", p, id))
+	}
+	return &Expr{kind: KindVar, id: id, prob: p, size: 1, varsN: 1, oneOcc: true, varsKey: hashID(id)}
+}
+
+// Not returns ¬e. It panics on a nil operand because Table I never negates
+// null lineage (andNot(λ1, null) = λ1).
+func Not(e *Expr) *Expr {
+	if e == nil {
+		panic("lineage: Not(nil)")
+	}
+	return &Expr{kind: KindNot, left: e, size: e.size + 1, varsN: e.varsN, oneOcc: e.oneOcc, varsKey: e.varsKey}
+}
+
+func binary(kind Kind, l, r *Expr) *Expr {
+	e := &Expr{kind: kind, left: l, right: r, size: l.size + r.size + 1, varsN: l.varsN + r.varsN}
+	// The two subformulas are variable-disjoint iff no identifier appears in
+	// both. A cheap necessary condition is the XOR-hash being "fresh"; the
+	// precise check walks the smaller side. Both sides must themselves be
+	// 1OF for the result to be 1OF.
+	if l.oneOcc && r.oneOcc {
+		e.oneOcc = disjointVars(l, r)
+	}
+	e.varsKey = l.varsKey ^ r.varsKey
+	return e
+}
+
+// And returns (l) ∧ (r), the and() function of Table I. Both operands must
+// be non-nil: TP set intersection only emits output when both inputs are
+// valid.
+func And(l, r *Expr) *Expr {
+	if l == nil || r == nil {
+		panic("lineage: And with nil operand")
+	}
+	return binary(KindAnd, l, r)
+}
+
+// Or returns the or() function of Table I: (l) ∨ (r), or the single non-nil
+// operand when the other is null. Both operands nil is an error.
+func Or(l, r *Expr) *Expr {
+	switch {
+	case l == nil && r == nil:
+		panic("lineage: Or(nil, nil)")
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	}
+	return binary(KindOr, l, r)
+}
+
+// AndNot returns the andNot() function of Table I: (l) when r is null, and
+// (l) ∧ ¬(r) otherwise. l must be non-nil.
+func AndNot(l, r *Expr) *Expr {
+	if l == nil {
+		panic("lineage: AndNot with nil left operand")
+	}
+	if r == nil {
+		return l
+	}
+	return binary(KindAnd, l, Not(r))
+}
+
+// Kind returns the node type.
+func (e *Expr) Kind() Kind { return e.kind }
+
+// ID returns the base-tuple identifier of a KindVar node ("" otherwise).
+func (e *Expr) ID() string { return e.id }
+
+// VarProb returns the marginal probability of a KindVar node.
+func (e *Expr) VarProb() float64 { return e.prob }
+
+// Operands returns the children of the node (nil for variables; right is nil
+// for negations).
+func (e *Expr) Operands() (left, right *Expr) { return e.left, e.right }
+
+// Size returns the number of nodes in the formula.
+func (e *Expr) Size() int {
+	if e == nil {
+		return 0
+	}
+	return e.size
+}
+
+// IsOneOccurrence reports whether the formula is in one-occurrence form
+// (1OF): no tuple identifier occurs more than once. Per Theorem 1 of the
+// paper, every non-repeating TP set query over duplicate-free relations
+// yields 1OF lineage, and 1OF probabilities are computable in linear time.
+// The property is cached at construction, so this is O(1).
+func (e *Expr) IsOneOccurrence() bool {
+	if e == nil {
+		return true
+	}
+	return e.oneOcc
+}
+
+// Vars appends the distinct variable identifiers of the formula to dst and
+// returns the result, sorted and de-duplicated.
+func (e *Expr) Vars(dst []string) []string {
+	dst = e.appendVars(dst)
+	sort.Strings(dst)
+	out := dst[:0]
+	for i, v := range dst {
+		if i == 0 || dst[i-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (e *Expr) appendVars(dst []string) []string {
+	if e == nil {
+		return dst
+	}
+	switch e.kind {
+	case KindVar:
+		return append(dst, e.id)
+	case KindNot:
+		return e.left.appendVars(dst)
+	default:
+		return e.right.appendVars(e.left.appendVars(dst))
+	}
+}
+
+// NumVarOccurrences returns the number of variable occurrences (leaves).
+func (e *Expr) NumVarOccurrences() int {
+	if e == nil {
+		return 0
+	}
+	return e.varsN
+}
+
+// disjointVars reports whether l and r share no variable identifier. It
+// walks the smaller formula into a set and probes with the larger one,
+// short-circuiting on the XOR fingerprint when it proves freshness is
+// impossible to decide cheaply.
+func disjointVars(l, r *Expr) bool {
+	small, big := l, r
+	if small.varsN > big.varsN {
+		small, big = big, small
+	}
+	if small.varsN <= 4 {
+		ids := make([]string, 0, 4)
+		ids = small.appendVars(ids)
+		return !containsAny(big, ids)
+	}
+	set := make(map[string]struct{}, small.varsN)
+	collect(small, set)
+	return !probes(big, set)
+}
+
+func collect(e *Expr, set map[string]struct{}) {
+	switch e.kind {
+	case KindVar:
+		set[e.id] = struct{}{}
+	case KindNot:
+		collect(e.left, set)
+	default:
+		collect(e.left, set)
+		collect(e.right, set)
+	}
+}
+
+func probes(e *Expr, set map[string]struct{}) bool {
+	switch e.kind {
+	case KindVar:
+		_, ok := set[e.id]
+		return ok
+	case KindNot:
+		return probes(e.left, set)
+	default:
+		return probes(e.left, set) || probes(e.right, set)
+	}
+}
+
+func containsAny(e *Expr, ids []string) bool {
+	switch e.kind {
+	case KindVar:
+		for _, id := range ids {
+			if e.id == id {
+				return true
+			}
+		}
+		return false
+	case KindNot:
+		return containsAny(e.left, ids)
+	default:
+		return containsAny(e.left, ids) || containsAny(e.right, ids)
+	}
+}
+
+// String renders the formula with the paper's connective symbols, fully
+// parenthesized for unambiguity, e.g. "c1∧¬(a1∨b1)".
+func (e *Expr) String() string {
+	if e == nil {
+		return "null"
+	}
+	var b strings.Builder
+	e.render(&b)
+	return b.String()
+}
+
+func (e *Expr) render(b *strings.Builder) {
+	switch e.kind {
+	case KindVar:
+		b.WriteString(e.id)
+	case KindNot:
+		b.WriteString("¬")
+		if e.left.kind == KindVar {
+			e.left.render(b)
+		} else {
+			b.WriteByte('(')
+			e.left.render(b)
+			b.WriteByte(')')
+		}
+	case KindAnd:
+		e.renderChild(b, e.left, KindAnd)
+		b.WriteString("∧")
+		e.renderChild(b, e.right, KindAnd)
+	case KindOr:
+		e.renderChild(b, e.left, KindOr)
+		b.WriteString("∨")
+		e.renderChild(b, e.right, KindOr)
+	}
+}
+
+func (e *Expr) renderChild(b *strings.Builder, c *Expr, parent Kind) {
+	need := false
+	switch c.kind {
+	case KindAnd, KindOr:
+		need = c.kind != parent
+	}
+	if need {
+		b.WriteByte('(')
+		c.render(b)
+		b.WriteByte(')')
+	} else {
+		c.render(b)
+	}
+}
+
+// Canonical returns a canonical syntactic rendering: associativity is
+// flattened and operands of ∧/∨ are sorted, so that formulas that differ
+// only in operand order or grouping compare equal. This implements the
+// paper's footnote 1: change preservation compares lineage syntactically
+// rather than solving co-NP-complete equivalence.
+func (e *Expr) Canonical() string {
+	if e == nil {
+		return "null"
+	}
+	return e.canonical()
+}
+
+func (e *Expr) canonical() string {
+	switch e.kind {
+	case KindVar:
+		return e.id
+	case KindNot:
+		return "!(" + e.left.canonical() + ")"
+	case KindAnd, KindOr:
+		var parts []string
+		e.flatten(e.kind, &parts)
+		sort.Strings(parts)
+		op := "&"
+		if e.kind == KindOr {
+			op = "|"
+		}
+		return "(" + strings.Join(parts, op) + ")"
+	}
+	panic("lineage: unknown kind")
+}
+
+func (e *Expr) flatten(kind Kind, parts *[]string) {
+	if e.kind == kind {
+		e.left.flatten(kind, parts)
+		e.right.flatten(kind, parts)
+		return
+	}
+	*parts = append(*parts, e.canonical())
+}
+
+// EquivalentSyntactic reports whether a and b have equal canonical
+// renderings. Either may be nil.
+func EquivalentSyntactic(a, b *Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if a == b {
+		return true
+	}
+	if a.varsKey != b.varsKey || a.varsN != b.varsN {
+		return false
+	}
+	return a.canonical() == b.canonical()
+}
+
+func hashID(id string) uint64 {
+	// FNV-1a; good enough as a commutative-XOR fingerprint component.
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Prob computes the marginal probability of the formula under the
+// tuple-independence assumption.
+//
+// For 1OF formulas the linear-time independent-subformula rules apply
+// exactly (Corollary 1 of the paper). For non-1OF formulas Prob falls back
+// to exact Shannon expansion, which is exponential in the number of shared
+// variables in the worst case (the problem is #P-hard in general, see
+// Khanna et al.). Use ProbMonteCarlo for large repeating queries.
+func (e *Expr) Prob() float64 {
+	if e == nil {
+		return 0
+	}
+	if e.oneOcc {
+		return e.probIndependent()
+	}
+	return e.probShannon(make(map[string]bool))
+}
+
+// probIndependent evaluates assuming all subformulas of every connective are
+// independent, which holds exactly when the formula is 1OF.
+func (e *Expr) probIndependent() float64 {
+	switch e.kind {
+	case KindVar:
+		return e.prob
+	case KindNot:
+		return 1 - e.left.probIndependent()
+	case KindAnd:
+		return e.left.probIndependent() * e.right.probIndependent()
+	default: // KindOr
+		pl := e.left.probIndependent()
+		pr := e.right.probIndependent()
+		return 1 - (1-pl)*(1-pr)
+	}
+}
+
+// probShannon performs Shannon expansion on the most frequent unassigned
+// variable: P(λ) = p(v)·P(λ[v:=true]) + (1−p(v))·P(λ[v:=false]).
+// assign holds the current partial assignment.
+func (e *Expr) probShannon(assign map[string]bool) float64 {
+	v, p, shared := e.mostFrequentSharedVar(assign)
+	if !shared {
+		// Every remaining variable occurs once: residual evaluation under
+		// the partial assignment uses the independent rules.
+		pr, known := e.evalPartial(assign)
+		if known {
+			if pr {
+				return 1
+			}
+			return 0
+		}
+		return e.probPartialIndependent(assign)
+	}
+	assign[v] = true
+	pt := e.probShannon(assign)
+	assign[v] = false
+	pf := e.probShannon(assign)
+	delete(assign, v)
+	return p*pt + (1-p)*pf
+}
+
+// mostFrequentSharedVar returns the unassigned variable with the highest
+// occurrence count if that count is >= 2.
+func (e *Expr) mostFrequentSharedVar(assign map[string]bool) (string, float64, bool) {
+	counts := make(map[string]int)
+	probs := make(map[string]float64)
+	e.countVars(assign, counts, probs)
+	best, bestN := "", 0
+	for v, n := range counts {
+		if n > bestN || (n == bestN && v < best) {
+			best, bestN = v, n
+		}
+	}
+	if bestN >= 2 {
+		return best, probs[best], true
+	}
+	return "", 0, false
+}
+
+func (e *Expr) countVars(assign map[string]bool, counts map[string]int, probs map[string]float64) {
+	switch e.kind {
+	case KindVar:
+		if _, done := assign[e.id]; !done {
+			counts[e.id]++
+			probs[e.id] = e.prob
+		}
+	case KindNot:
+		e.left.countVars(assign, counts, probs)
+	default:
+		e.left.countVars(assign, counts, probs)
+		e.right.countVars(assign, counts, probs)
+	}
+}
+
+// evalPartial attempts to decide the formula under the partial assignment.
+// known is true when the truth value no longer depends on free variables.
+func (e *Expr) evalPartial(assign map[string]bool) (value, known bool) {
+	switch e.kind {
+	case KindVar:
+		v, ok := assign[e.id]
+		return v, ok
+	case KindNot:
+		v, ok := e.left.evalPartial(assign)
+		return !v, ok
+	case KindAnd:
+		lv, lk := e.left.evalPartial(assign)
+		rv, rk := e.right.evalPartial(assign)
+		if lk && !lv || rk && !rv {
+			return false, true
+		}
+		return lv && rv, lk && rk
+	default: // KindOr
+		lv, lk := e.left.evalPartial(assign)
+		rv, rk := e.right.evalPartial(assign)
+		if lk && lv || rk && rv {
+			return true, true
+		}
+		return lv || rv, lk && rk
+	}
+}
+
+// probPartialIndependent evaluates probability treating assigned variables
+// as constants and the remaining (pairwise-distinct) variables as
+// independent.
+func (e *Expr) probPartialIndependent(assign map[string]bool) float64 {
+	switch e.kind {
+	case KindVar:
+		if v, ok := assign[e.id]; ok {
+			if v {
+				return 1
+			}
+			return 0
+		}
+		return e.prob
+	case KindNot:
+		return 1 - e.left.probPartialIndependent(assign)
+	case KindAnd:
+		return e.left.probPartialIndependent(assign) * e.right.probPartialIndependent(assign)
+	default:
+		pl := e.left.probPartialIndependent(assign)
+		pr := e.right.probPartialIndependent(assign)
+		return 1 - (1-pl)*(1-pr)
+	}
+}
+
+// Eval returns the truth value of the formula under a complete assignment of
+// its variables. Missing variables default to false.
+func (e *Expr) Eval(assign map[string]bool) bool {
+	if e == nil {
+		return false
+	}
+	switch e.kind {
+	case KindVar:
+		return assign[e.id]
+	case KindNot:
+		return !e.left.Eval(assign)
+	case KindAnd:
+		return e.left.Eval(assign) && e.right.Eval(assign)
+	default:
+		return e.left.Eval(assign) || e.right.Eval(assign)
+	}
+}
+
+// RNG is the minimal random source needed by ProbMonteCarlo; *rand.Rand
+// satisfies it.
+type RNG interface {
+	Float64() float64
+}
+
+// ProbMonteCarlo estimates the marginal probability with n independent
+// possible-world samples. The standard error is at most 0.5/sqrt(n).
+func (e *Expr) ProbMonteCarlo(n int, rng RNG) float64 {
+	if e == nil {
+		return 0
+	}
+	vars := e.Vars(nil)
+	probs := make(map[string]float64, len(vars))
+	e.varProbs(probs)
+	assign := make(map[string]bool, len(vars))
+	hits := 0
+	for i := 0; i < n; i++ {
+		for _, v := range vars {
+			assign[v] = rng.Float64() < probs[v]
+		}
+		if e.Eval(assign) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n)
+}
+
+func (e *Expr) varProbs(probs map[string]float64) {
+	switch e.kind {
+	case KindVar:
+		probs[e.id] = e.prob
+	case KindNot:
+		e.left.varProbs(probs)
+	default:
+		e.left.varProbs(probs)
+		e.right.varProbs(probs)
+	}
+}
+
+// ProbPossibleWorlds computes the exact marginal probability by enumerating
+// all 2^k possible worlds of the formula's k variables. It is the oracle
+// used by the test suite and panics when k > 24.
+func (e *Expr) ProbPossibleWorlds() float64 {
+	if e == nil {
+		return 0
+	}
+	vars := e.Vars(nil)
+	if len(vars) > 24 {
+		panic(fmt.Sprintf("lineage: possible-worlds enumeration over %d variables", len(vars)))
+	}
+	probs := make(map[string]float64, len(vars))
+	e.varProbs(probs)
+	assign := make(map[string]bool, len(vars))
+	total := 0.0
+	for world := 0; world < 1<<uint(len(vars)); world++ {
+		wp := 1.0
+		for i, v := range vars {
+			on := world&(1<<uint(i)) != 0
+			assign[v] = on
+			if on {
+				wp *= probs[v]
+			} else {
+				wp *= 1 - probs[v]
+			}
+		}
+		if wp == 0 {
+			continue
+		}
+		if e.Eval(assign) {
+			total += wp
+		}
+	}
+	if total > 1 {
+		// Guard against floating-point accumulation slightly above 1.
+		total = math.Min(total, 1)
+	}
+	return total
+}

@@ -1,0 +1,163 @@
+package lineage
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Parse reads a lineage formula in the paper's rendered syntax, e.g.
+//
+//	c1∧¬(a1∨b1)
+//
+// ASCII operator spellings are accepted too: & or * for ∧, | or + for ∨,
+// ! or ~ for ¬, and the word "null" for the null lineage (returned as nil).
+// Variable probabilities are resolved through the probs callback, which
+// maps a tuple identifier to its marginal probability; it is called once
+// per occurrence.
+//
+// Grammar (precedence low → high):
+//
+//	or   = and { ("∨" | "|" | "+") and } .
+//	and  = not { ("∧" | "&" | "*") not } .
+//	not  = { "¬" | "!" | "~" } atom .
+//	atom = ident | "(" or ")" .
+//
+// Parse is the inverse of (*Expr).String up to operator associativity:
+// rendering and re-parsing yields a syntactically equivalent formula.
+func Parse(input string, probs func(id string) (float64, error)) (*Expr, error) {
+	p := &formulaParser{in: strings.TrimSpace(input), probs: probs}
+	if p.in == "null" || p.in == "" {
+		return nil, nil
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.in) {
+		return nil, fmt.Errorf("lineage: unexpected %q at offset %d", p.in[p.pos:], p.pos)
+	}
+	return e, nil
+}
+
+// MustParse is Parse panicking on error, with a constant probability for
+// every variable; intended for tests.
+func MustParse(input string, p float64) *Expr {
+	e, err := Parse(input, func(string) (float64, error) { return p, nil })
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type formulaParser struct {
+	in    string
+	pos   int
+	probs func(id string) (float64, error)
+}
+
+func (p *formulaParser) skipSpace() {
+	for p.pos < len(p.in) {
+		r, sz := utf8.DecodeRuneInString(p.in[p.pos:])
+		if !unicode.IsSpace(r) {
+			return
+		}
+		p.pos += sz
+	}
+}
+
+// peekOp reports whether one of the given operator spellings starts at the
+// cursor, consuming it when found.
+func (p *formulaParser) acceptOp(ops ...string) bool {
+	p.skipSpace()
+	for _, op := range ops {
+		if strings.HasPrefix(p.in[p.pos:], op) {
+			p.pos += len(op)
+			return true
+		}
+	}
+	return false
+}
+
+func (p *formulaParser) parseOr() (*Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptOp("∨", "|", "+") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Or(left, right)
+	}
+	return left, nil
+}
+
+func (p *formulaParser) parseAnd() (*Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptOp("∧", "&", "*") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = And(left, right)
+	}
+	return left, nil
+}
+
+func (p *formulaParser) parseNot() (*Expr, error) {
+	if p.acceptOp("¬", "!", "~") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Not(e), nil
+	}
+	return p.parseAtom()
+}
+
+func (p *formulaParser) parseAtom() (*Expr, error) {
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return nil, fmt.Errorf("lineage: unexpected end of formula %q", p.in)
+	}
+	if p.in[p.pos] == '(' {
+		p.pos++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.in) || p.in[p.pos] != ')' {
+			return nil, fmt.Errorf("lineage: missing ')' at offset %d in %q", p.pos, p.in)
+		}
+		p.pos++
+		return e, nil
+	}
+	start := p.pos
+	for p.pos < len(p.in) {
+		r, sz := utf8.DecodeRuneInString(p.in[p.pos:])
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' && r != '.' && r != '-' {
+			break
+		}
+		p.pos += sz
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("lineage: expected identifier at offset %d in %q", start, p.in)
+	}
+	id := p.in[start:p.pos]
+	if id == "null" {
+		return nil, fmt.Errorf("lineage: null is only allowed as the whole formula")
+	}
+	prob, err := p.probs(id)
+	if err != nil {
+		return nil, fmt.Errorf("lineage: variable %q: %w", id, err)
+	}
+	return Var(id, prob), nil
+}

@@ -1,0 +1,91 @@
+package lineage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSimplifyRules(t *testing.T) {
+	a, b := v("a", 0.5), v("b", 0.4)
+	cases := []struct {
+		in   *Expr
+		want string
+	}{
+		{Not(Not(a)), "a"},
+		{Not(Not(Not(a))), "¬a"},
+		{And(a, a), "a"},
+		{Or(a, a), "a"},
+		{And(a, Or(a, b)), "a"},
+		{And(a, Or(b, a)), "a"},
+		{Or(a, And(a, b)), "a"},
+		{Or(And(b, a), a), "a"},
+		{And(a, b), "a∧b"},               // no rule applies
+		{AndNot(a, b), "a∧¬b"},           // untouched
+		{Or(Not(Not(a)), b), "a∨b"},      // rewrite inside
+		{And(Or(a, b), Or(a, b)), "a∨b"}, // idempotence on composites
+	}
+	for _, tc := range cases {
+		if got := Simplify(tc.in).String(); got != tc.want {
+			t.Errorf("Simplify(%s) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+	if Simplify(nil) != nil {
+		t.Error("nil")
+	}
+}
+
+func TestSimplifySharing(t *testing.T) {
+	a, b := v("a", 0.5), v("b", 0.4)
+	e := And(a, b)
+	if Simplify(e) != e {
+		t.Error("irreducible formulas must be returned unchanged (same pointer)")
+	}
+}
+
+// TestSimplifyPreservesSemantics: random formulas keep their exact
+// possible-worlds probability, and never grow.
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pool := map[string]float64{"a": 0.3, "b": 0.55, "c": 0.7, "d": 0.2}
+	var build func(depth int) *Expr
+	build = func(depth int) *Expr {
+		if depth == 0 || rng.Intn(3) == 0 {
+			id := []string{"a", "b", "c", "d"}[rng.Intn(4)]
+			return Var(id, pool[id])
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return Not(build(depth - 1))
+		case 1:
+			return And(build(depth-1), build(depth-1))
+		default:
+			return Or(build(depth-1), build(depth-1))
+		}
+	}
+	for i := 0; i < 500; i++ {
+		e := build(5)
+		s := Simplify(e)
+		if s.Size() > e.Size() {
+			t.Fatalf("simplify grew %s (%d) to %s (%d)", e, e.Size(), s, s.Size())
+		}
+		pe, ps := e.ProbPossibleWorlds(), s.ProbPossibleWorlds()
+		if math.Abs(pe-ps) > 1e-9 {
+			t.Fatalf("simplify changed semantics: %s (%v) vs %s (%v)", e, pe, s, ps)
+		}
+	}
+}
+
+// TestSimplifyCanRestore1OF: the duplicated-variable patterns produced by
+// repeating queries collapse back into 1OF where absorption applies.
+func TestSimplifyCanRestore1OF(t *testing.T) {
+	a, b := v("a", 0.5), v("b", 0.4)
+	e := Or(a, And(a, b)) // not 1OF
+	if e.IsOneOccurrence() {
+		t.Fatal("setup")
+	}
+	s := Simplify(e)
+	if !s.IsOneOccurrence() || s.String() != "a" {
+		t.Fatalf("simplified to %s", s)
+	}
+}

@@ -1,0 +1,200 @@
+// Package query implements TP set queries (Def. 4 of the paper): arbitrary
+// expressions of TP set operators over a set of named TP relations,
+//
+//	Q ::= r | Q ∪Tp Q | Q ∩Tp Q | Q −Tp Q | (Q) | σ[A=v](Q)
+//
+// (selection is an extension beyond Def. 4; the paper itself uses it in
+// Fig. 6). The package provides a parser for a plain-ASCII surface syntax, a
+// static analyzer that classifies queries as non-repeating (⇒ 1OF lineage
+// and PTIME data complexity, Theorem 1 and Corollary 1) or repeating
+// (#P-hard in general), and an evaluator with pluggable execution
+// algorithms.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// Node is a node of a TP set query tree.
+type Node interface {
+	// String renders the subquery with the paper's operator symbols.
+	String() string
+	// relations appends the relation names referenced below this node.
+	relations(dst []string) []string
+}
+
+// Rel references a named input relation.
+type Rel struct{ Name string }
+
+// SetOp combines two subqueries with a TP set operation.
+type SetOp struct {
+	Op          core.Op
+	Left, Right Node
+}
+
+// Select filters a subquery by equality on one conventional attribute
+// (σ[Attr=Value]). Selection commutes with the set operations and keeps
+// relations duplicate-free.
+type Select struct {
+	Attr  string
+	Value string
+	Input Node
+}
+
+func (r *Rel) String() string { return r.Name }
+func (q *SetOp) String() string {
+	return fmt.Sprintf("(%s %s %s)", q.Left, q.Op, q.Right)
+}
+func (s *Select) String() string {
+	return fmt.Sprintf("σ[%s='%s'](%s)", s.Attr, s.Value, s.Input)
+}
+
+func (r *Rel) relations(dst []string) []string { return append(dst, r.Name) }
+func (q *SetOp) relations(dst []string) []string {
+	return q.Right.relations(q.Left.relations(dst))
+}
+func (s *Select) relations(dst []string) []string { return s.Input.relations(dst) }
+
+// Relations returns the distinct relation names referenced by the query,
+// sorted.
+func Relations(n Node) []string {
+	all := n.relations(nil)
+	sort.Strings(all)
+	out := all[:0]
+	for i, v := range all {
+		if i == 0 || all[i-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsNonRepeating reports whether every input relation occurs at most once
+// in the query. By Theorem 1, non-repeating queries over duplicate-free
+// relations produce lineage in one-occurrence form, and by Corollary 1 they
+// have PTIME data complexity.
+func IsNonRepeating(n Node) bool {
+	all := n.relations(nil)
+	seen := make(map[string]struct{}, len(all))
+	for _, name := range all {
+		if _, dup := seen[name]; dup {
+			return false
+		}
+		seen[name] = struct{}{}
+	}
+	return true
+}
+
+// Complexity classifies the query per §V-B.
+type Complexity int
+
+// Complexity classes of TP set queries.
+const (
+	// PTime: non-repeating query; lineage is 1OF and confidence
+	// computation is linear per output tuple.
+	PTime Complexity = iota
+	// SharpPHard: at least one relation repeats; exact confidence
+	// computation is #P-hard in general (Khanna et al. 2011).
+	SharpPHard
+)
+
+func (c Complexity) String() string {
+	if c == PTime {
+		return "PTIME (non-repeating, 1OF lineage)"
+	}
+	return "#P-hard in general (repeating subgoals)"
+}
+
+// Classify returns the data-complexity class of the query.
+func Classify(n Node) Complexity {
+	if IsNonRepeating(n) {
+		return PTime
+	}
+	return SharpPHard
+}
+
+// Algorithm selects the execution strategy of the evaluator.
+type Algorithm string
+
+// Available execution algorithms. LAWA supports all operations; the
+// baselines cover the subsets of Table II and exist for comparison.
+const (
+	AlgoLAWA Algorithm = "lawa"
+	AlgoNorm Algorithm = "norm"
+)
+
+// Evaluate executes the query over the named relations in db using LAWA.
+func Evaluate(n Node, db map[string]*relation.Relation) (*relation.Relation, error) {
+	return EvaluateWith(n, db, AlgoLAWA)
+}
+
+// EvaluateWith executes the query with the chosen algorithm.
+func EvaluateWith(n Node, db map[string]*relation.Relation, algo Algorithm) (*relation.Relation, error) {
+	switch q := n.(type) {
+	case *Rel:
+		r, ok := db[q.Name]
+		if !ok {
+			return nil, fmt.Errorf("query: unknown relation %q (have %s)",
+				q.Name, strings.Join(mapKeys(db), ", "))
+		}
+		return r, nil
+	case *Select:
+		in, err := EvaluateWith(q.Input, db, algo)
+		if err != nil {
+			return nil, err
+		}
+		return applySelect(q, in)
+	case *SetOp:
+		l, err := EvaluateWith(q.Left, db, algo)
+		if err != nil {
+			return nil, err
+		}
+		r, err := EvaluateWith(q.Right, db, algo)
+		if err != nil {
+			return nil, err
+		}
+		switch algo {
+		case AlgoNorm:
+			return applyNorm(q.Op, l, r)
+		default:
+			return core.Apply(q.Op, l, r, core.Options{})
+		}
+	}
+	return nil, fmt.Errorf("query: unknown node type %T", n)
+}
+
+func applySelect(q *Select, in *relation.Relation) (*relation.Relation, error) {
+	idx := -1
+	for i, a := range in.Schema.Attrs {
+		if a == q.Attr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("query: relation %q has no attribute %q (have %s)",
+			in.Schema.Name, q.Attr, strings.Join(in.Schema.Attrs, ", "))
+	}
+	out := relation.New(in.Schema)
+	for i := range in.Tuples {
+		t := &in.Tuples[i]
+		if idx < len(t.Fact) && t.Fact[idx] == q.Value {
+			out.Tuples = append(out.Tuples, *t)
+		}
+	}
+	return out, nil
+}
+
+func mapKeys(db map[string]*relation.Relation) []string {
+	ks := make([]string, 0, len(db))
+	for k := range db {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

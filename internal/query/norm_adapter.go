@@ -1,0 +1,13 @@
+package query
+
+import (
+	"github.com/tpset/tpset/internal/baseline/norm"
+	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// applyNorm executes one set operation with the NORM baseline. It exists so
+// that end-to-end query results can be cross-checked between algorithms.
+func applyNorm(op core.Op, l, r *relation.Relation) (*relation.Relation, error) {
+	return norm.Apply(op, l, r), nil
+}

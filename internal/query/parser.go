@@ -1,0 +1,258 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"github.com/tpset/tpset/internal/core"
+)
+
+// Parse parses the surface syntax of TP set queries:
+//
+//	query    = term { ("|" | "union") term } .
+//	term     = factor { ("&" | "intersect" | "-" | "except") factor } .
+//	factor   = ident | "(" query ")" | "sigma" "[" ident "=" value "]" "(" query ")" .
+//	value    = "'" chars "'" | ident .
+//
+// "|", "&" and "-" are ∪Tp, ∩Tp and −Tp. "&" and "-" associate left and
+// bind tighter than "|", mirroring conventional set-expression precedence;
+// parentheses override. Example: the paper's Fig. 1 query is
+//
+//	c - (a | b)
+func Parse(input string) (Node, error) {
+	p := &parser{toks: lex(input)}
+	n, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEnd() {
+		return nil, fmt.Errorf("query: unexpected %q after complete query", p.peek().text)
+	}
+	return n, nil
+}
+
+// MustParse is Parse panicking on error; intended for tests and constants.
+func MustParse(input string) Node {
+	n, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokOp            // | & -
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokEquals
+	tokValue // quoted literal
+	tokEOF
+	tokErr
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(input string) []token {
+	var toks []token
+	i := 0
+	emit := func(k tokKind, s string, pos int) { toks = append(toks, token{k, s, pos}) }
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(':
+			emit(tokLParen, "(", i)
+			i++
+		case c == ')':
+			emit(tokRParen, ")", i)
+			i++
+		case c == '[':
+			emit(tokLBracket, "[", i)
+			i++
+		case c == ']':
+			emit(tokRBracket, "]", i)
+			i++
+		case c == '=':
+			emit(tokEquals, "=", i)
+			i++
+		case c == '|' || c == '&' || c == '-':
+			emit(tokOp, string(c), i)
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(input) && input[j] != '\'' {
+				j++
+			}
+			if j >= len(input) {
+				emit(tokErr, "unterminated string literal", i)
+				return toks
+			}
+			emit(tokValue, input[i+1:j], i)
+			i = j + 1
+		case unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_':
+			j := i
+			for j < len(input) {
+				r := rune(input[j])
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' && r != '.' {
+					break
+				}
+				j++
+			}
+			word := input[i:j]
+			switch strings.ToLower(word) {
+			case "union":
+				emit(tokOp, "|", i)
+			case "intersect":
+				emit(tokOp, "&", i)
+			case "except", "minus":
+				emit(tokOp, "-", i)
+			default:
+				emit(tokIdent, word, i)
+			}
+			i = j
+		default:
+			emit(tokErr, fmt.Sprintf("unexpected character %q", c), i)
+			return toks
+		}
+	}
+	emit(tokEOF, "", len(input))
+	return toks
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atEnd() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("query: expected %s at offset %d, found %q", what, t.pos, t.text)
+	}
+	return t, nil
+}
+
+// parseQuery handles the lowest-precedence operator, union.
+func (p *parser) parseQuery() (Node, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && p.peek().text == "|" {
+		p.next()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &SetOp{Op: opFromText("|"), Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// parseTerm handles intersection and difference (equal precedence,
+// left-associative).
+func (p *parser) parseTerm() (Node, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && (p.peek().text == "&" || p.peek().text == "-") {
+		op := p.next().text
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = &SetOp{Op: opFromText(op), Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseFactor() (Node, error) {
+	t := p.next()
+	switch t.kind {
+	case tokErr:
+		return nil, fmt.Errorf("query: %s at offset %d", t.text, t.pos)
+	case tokLParen:
+		n, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case tokIdent:
+		if strings.EqualFold(t.text, "sigma") {
+			return p.parseSelect()
+		}
+		return &Rel{Name: t.text}, nil
+	default:
+		return nil, fmt.Errorf("query: expected relation, '(' or sigma at offset %d, found %q", t.pos, t.text)
+	}
+}
+
+// parseSelect parses sigma[attr='value'](query).
+func (p *parser) parseSelect() (Node, error) {
+	if _, err := p.expect(tokLBracket, "'['"); err != nil {
+		return nil, err
+	}
+	attr, err := p.expect(tokIdent, "attribute name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokEquals, "'='"); err != nil {
+		return nil, err
+	}
+	val := p.next()
+	if val.kind != tokValue && val.kind != tokIdent {
+		return nil, fmt.Errorf("query: expected value at offset %d, found %q", val.pos, val.text)
+	}
+	if _, err := p.expect(tokRBracket, "']'"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	in, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return &Select{Attr: attr.text, Value: val.text, Input: in}, nil
+}
+
+func opFromText(s string) core.Op {
+	switch s {
+	case "|":
+		return core.OpUnion
+	case "&":
+		return core.OpIntersect
+	default:
+		return core.OpExcept
+	}
+}

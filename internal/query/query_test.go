@@ -1,0 +1,180 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+func db() map[string]*relation.Relation {
+	a := relation.New(relation.NewSchema("a", "Product"))
+	a.AddBase(relation.NewFact("milk"), "a1", 2, 10, 0.3)
+	a.AddBase(relation.NewFact("chips"), "a2", 4, 7, 0.8)
+	a.AddBase(relation.NewFact("dates"), "a3", 1, 3, 0.6)
+	b := relation.New(relation.NewSchema("b", "Product"))
+	b.AddBase(relation.NewFact("milk"), "b1", 5, 9, 0.6)
+	b.AddBase(relation.NewFact("chips"), "b2", 3, 6, 0.9)
+	c := relation.New(relation.NewSchema("c", "Product"))
+	c.AddBase(relation.NewFact("milk"), "c1", 1, 4, 0.6)
+	c.AddBase(relation.NewFact("milk"), "c2", 6, 8, 0.7)
+	c.AddBase(relation.NewFact("chips"), "c3", 4, 5, 0.7)
+	c.AddBase(relation.NewFact("chips"), "c4", 7, 9, 0.8)
+	return map[string]*relation.Relation{"a": a, "b": b, "c": c}
+}
+
+func TestParsePrecedenceAndRendering(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"a | b", "(a ∪Tp b)"},
+		{"a & b", "(a ∩Tp b)"},
+		{"a - b", "(a −Tp b)"},
+		{"c - (a | b)", "(c −Tp (a ∪Tp b))"},
+		{"a | b & c", "(a ∪Tp (b ∩Tp c))"}, // & binds tighter
+		{"a - b - c", "((a −Tp b) −Tp c)"}, // left assoc
+		{"a union b intersect c", "(a ∪Tp (b ∩Tp c))"},
+		{"a minus b", "(a −Tp b)"},
+		{"(a | b) - c", "((a ∪Tp b) −Tp c)"},
+		{"sigma[Product='milk'](c)", "σ[Product='milk'](c)"},
+		{"sigma[Product='milk'](c) - a", "(σ[Product='milk'](c) −Tp a)"},
+	}
+	for _, tc := range cases {
+		n, err := Parse(tc.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.in, err)
+		}
+		if got := n.String(); got != tc.want {
+			t.Errorf("Parse(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"", "a |", "| a", "a b", "(a", "a)", "sigma[x](a)", "sigma[x=](a)",
+		"sigma[x='v'](", "a ! b", "'lit'", "a - 'x'", "sigma[x='unterminated](a)",
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestRelationsAndNonRepeating(t *testing.T) {
+	n := MustParse("c - (a | b)")
+	if got := Relations(n); strings.Join(got, ",") != "a,b,c" {
+		t.Errorf("relations: %v", got)
+	}
+	if !IsNonRepeating(n) || Classify(n) != PTime {
+		t.Error("c - (a | b) is non-repeating")
+	}
+	rep := MustParse("(r1 | r2) - (r1 & r3)")
+	if IsNonRepeating(rep) || Classify(rep) != SharpPHard {
+		t.Error("the paper's §V-B repeating example must classify #P-hard")
+	}
+	if got := Relations(rep); strings.Join(got, ",") != "r1,r2,r3" {
+		t.Errorf("dedup: %v", got)
+	}
+	if !strings.Contains(PTime.String(), "PTIME") || !strings.Contains(SharpPHard.String(), "#P") {
+		t.Error("complexity rendering")
+	}
+}
+
+func TestEvaluateFig1(t *testing.T) {
+	out, err := Evaluate(MustParse("c - (a | b)"), db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 5 {
+		t.Fatalf("Fig. 1c has 5 tuples, got %d:\n%s", out.Len(), out)
+	}
+	// Cross-check with the NORM execution path.
+	out2, err := EvaluateWith(MustParse("c - (a | b)"), db(), AlgoNorm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := relation.Diff(out, out2); d != "" {
+		t.Errorf("LAWA vs NORM query execution: %s", d)
+	}
+}
+
+func TestEvaluateSelection(t *testing.T) {
+	out, err := Evaluate(MustParse("sigma[Product='milk'](c) - sigma[Product='milk'](a)"), db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 6: three accepted candidates.
+	if out.Len() != 3 {
+		t.Fatalf("want 3 tuples, got %d:\n%s", out.Len(), out)
+	}
+	for i := range out.Tuples {
+		if out.Tuples[i].Fact.Key() != "milk" {
+			t.Errorf("selection leaked fact %s", out.Tuples[i].Fact)
+		}
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(MustParse("nosuch - a"), db()); err == nil ||
+		!strings.Contains(err.Error(), "nosuch") {
+		t.Errorf("unknown relation: %v", err)
+	}
+	if _, err := Evaluate(MustParse("sigma[NoAttr='x'](a)"), db()); err == nil ||
+		!strings.Contains(err.Error(), "NoAttr") {
+		t.Errorf("unknown attribute: %v", err)
+	}
+}
+
+func TestTheorem1OneOccurrence(t *testing.T) {
+	// Non-repeating query ⇒ every output lineage is 1OF.
+	out, err := Evaluate(MustParse("(a | b) & c"), db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out.Tuples {
+		if !out.Tuples[i].Lineage.IsOneOccurrence() {
+			t.Errorf("non-1OF lineage from non-repeating query: %s", out.Tuples[i].Lineage)
+		}
+	}
+	// Repeating query CAN produce repeated variables.
+	out2, err := Evaluate(MustParse("(a | c) - (a & c)"), db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	for i := range out2.Tuples {
+		if !out2.Tuples[i].Lineage.IsOneOccurrence() {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("repeating query produced only 1OF lineage — unexpected for this data")
+	}
+}
+
+// TestRepeatingQueryProbabilities: even for the #P-hard repeating case, the
+// Shannon evaluator must agree with possible-worlds enumeration on small
+// data (the symmetric-difference query of §V-B).
+func TestRepeatingQueryProbabilities(t *testing.T) {
+	out, err := Evaluate(MustParse("(a | c) - (a & c)"), db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out.Tuples {
+		tu := &out.Tuples[i]
+		exact := tu.Lineage.ProbPossibleWorlds()
+		if diff := tu.Prob - exact; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("tuple %v: prob %v, possible-worlds %v", tu, tu.Prob, exact)
+		}
+	}
+}
+
+func TestSetOpErrIncompatibleSchemas(t *testing.T) {
+	a := relation.New(relation.NewSchema("a", "X"))
+	b := relation.New(relation.NewSchema("b", "X", "Y"))
+	if _, err := core.Union(a, b, core.Options{}); err == nil {
+		t.Error("incompatible schemas must be rejected")
+	}
+}

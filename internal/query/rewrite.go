@@ -1,0 +1,76 @@
+package query
+
+// Query rewriting. Selections commute with the three TP set operations on
+// the left input and — for union and intersection — on the right input as
+// well:
+//
+//	σ(q1 ∪Tp q2) ≡ σ(q1) ∪Tp σ(q2)
+//	σ(q1 ∩Tp q2) ≡ σ(q1) ∩Tp σ(q2)
+//	σ(q1 −Tp q2) ≡ σ(q1) −Tp σ(q2)
+//
+// (For −Tp, restricting the right side is sound because tuples of s with
+// facts filtered out of r can never contribute to an output anyway.)
+// Pushing selections below the set operations shrinks the inputs the
+// O(n log n) sweep sorts, which is the classic selection-pushdown win.
+//
+// The rewriter is conservative: it only transforms nodes where equivalence
+// is guaranteed by the equations above and leaves everything else intact.
+
+// PushDownSelections returns an equivalent query with every selection
+// pushed as close to the base relations as possible. Stacked selections
+// are reordered freely (they commute with each other).
+func PushDownSelections(n Node) Node {
+	switch q := n.(type) {
+	case *Rel:
+		return q
+	case *SetOp:
+		return &SetOp{
+			Op:    q.Op,
+			Left:  PushDownSelections(q.Left),
+			Right: PushDownSelections(q.Right),
+		}
+	case *Select:
+		inner := PushDownSelections(q.Input)
+		return pushSelect(q, inner)
+	}
+	return n
+}
+
+// pushSelect distributes one selection over an already-rewritten subtree.
+func pushSelect(sel *Select, input Node) Node {
+	switch q := input.(type) {
+	case *SetOp:
+		return &SetOp{
+			Op:    q.Op,
+			Left:  pushSelect(sel, q.Left),
+			Right: pushSelect(sel, q.Right),
+		}
+	case *Select:
+		// Commute and keep pushing; the inner selection has already been
+		// pushed, so only descend through it.
+		return &Select{Attr: q.Attr, Value: q.Value, Input: pushSelect(sel, q.Input)}
+	default:
+		return &Select{Attr: sel.Attr, Value: sel.Value, Input: input}
+	}
+}
+
+// CountSelections reports how many Select nodes the tree contains and how
+// many of them sit directly above a base relation — a rewrite-quality
+// metric used by tests and by EXPLAIN output.
+func CountSelections(n Node) (total, onBase int) {
+	switch q := n.(type) {
+	case *Rel:
+		return 0, 0
+	case *SetOp:
+		lt, lb := CountSelections(q.Left)
+		rt, rb := CountSelections(q.Right)
+		return lt + rt, lb + rb
+	case *Select:
+		t, b := CountSelections(q.Input)
+		if _, isRel := q.Input.(*Rel); isRel {
+			b++
+		}
+		return t + 1, b
+	}
+	return 0, 0
+}

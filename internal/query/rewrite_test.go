@@ -1,0 +1,82 @@
+package query
+
+import (
+	"testing"
+
+	"github.com/tpset/tpset/internal/relation"
+)
+
+func TestPushDownSelections(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{
+			"sigma[Product='milk'](c - (a | b))",
+			"(σ[Product='milk'](c) −Tp (σ[Product='milk'](a) ∪Tp σ[Product='milk'](b)))",
+		},
+		{
+			"sigma[Product='milk'](a & b)",
+			"(σ[Product='milk'](a) ∩Tp σ[Product='milk'](b))",
+		},
+		{
+			"sigma[Product='milk'](a)",
+			"σ[Product='milk'](a)",
+		},
+		{
+			"a - b",
+			"(a −Tp b)",
+		},
+		{
+			// Nested selections commute and both reach the base.
+			"sigma[Product='milk'](sigma[Product='milk'](a | b))",
+			"(σ[Product='milk'](σ[Product='milk'](a)) ∪Tp σ[Product='milk'](σ[Product='milk'](b)))",
+		},
+	}
+	for _, tc := range cases {
+		got := PushDownSelections(MustParse(tc.in))
+		if got.String() != tc.want {
+			t.Errorf("PushDown(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestPushDownEquivalence: original and rewritten plans compute the same
+// relation on the paper's data, for every operation shape.
+func TestPushDownEquivalence(t *testing.T) {
+	d := db()
+	queries := []string{
+		"sigma[Product='milk'](c - (a | b))",
+		"sigma[Product='chips'](a & c)",
+		"sigma[Product='milk'](a - c)",
+		"sigma[Product='dates'](a | b | c)",
+		"sigma[Product='milk'](sigma[Product='milk'](c) - a)",
+		"sigma[Product='nonexistent'](a | c)",
+	}
+	for _, q := range queries {
+		orig, err := Evaluate(MustParse(q), d)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		rewritten := PushDownSelections(MustParse(q))
+		got, err := Evaluate(rewritten, d)
+		if err != nil {
+			t.Fatalf("%s rewritten: %v", q, err)
+		}
+		if diff := relation.Diff(orig, got); diff != "" {
+			t.Errorf("%s: rewrite changed the result: %s\nrewritten=%s", q, diff, rewritten)
+		}
+	}
+}
+
+func TestCountSelections(t *testing.T) {
+	n := MustParse("sigma[P='x'](a - b) | sigma[P='y'](c)")
+	total, onBase := CountSelections(n)
+	if total != 2 || onBase != 1 {
+		t.Fatalf("total=%d onBase=%d", total, onBase)
+	}
+	p := PushDownSelections(n)
+	total, onBase = CountSelections(p)
+	if total != 3 || onBase != 3 {
+		t.Fatalf("after pushdown: total=%d onBase=%d (%s)", total, onBase, p)
+	}
+}

@@ -1,0 +1,135 @@
+// Package ref provides a deliberately naive reference implementation of the
+// TP set operations, evaluated exactly as Definition 3 of the paper states
+// them: per time point, per fact, over the lineages λ_t^{r,f} and λ_t^{s,f},
+// followed by change-preservation coalescing of consecutive time points with
+// syntactically equivalent lineage.
+//
+// Its complexity is O((|r|+|s|) · |ΩT|) — unusable for benchmarks, perfect
+// as the gold standard the fast implementations are validated against.
+package ref
+
+import (
+	"sort"
+
+	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/interval"
+	"github.com/tpset/tpset/internal/lineage"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// Apply evaluates op(r, s) per snapshot and coalesces maximal intervals.
+func Apply(op core.Op, r, s *relation.Relation) *relation.Relation {
+	out := relation.New(relation.Schema{Name: "ref", Attrs: r.Schema.Attrs})
+
+	// Collect the fact universe and, per fact, the sorted tuple lists.
+	type factData struct {
+		fact relation.Fact
+		r, s []relation.Tuple
+	}
+	facts := make(map[string]*factData)
+	ingest := func(rel *relation.Relation, left bool) {
+		for i := range rel.Tuples {
+			t := rel.Tuples[i]
+			fd, ok := facts[t.Key()]
+			if !ok {
+				fd = &factData{fact: t.Fact}
+				facts[t.Key()] = fd
+			}
+			if left {
+				fd.r = append(fd.r, t)
+			} else {
+				fd.s = append(fd.s, t)
+			}
+		}
+	}
+	ingest(r, true)
+	ingest(s, false)
+
+	keys := make([]string, 0, len(facts))
+	for k := range facts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for _, k := range keys {
+		fd := facts[k]
+		lo, hi, any := domain(fd.r, fd.s)
+		if !any {
+			continue
+		}
+		var cur *relation.Tuple
+		flush := func() {
+			if cur != nil {
+				out.Tuples = append(out.Tuples, *cur)
+				cur = nil
+			}
+		}
+		for t := lo; t < hi; t++ {
+			lr := lineageAt(fd.r, t)
+			ls := lineageAt(fd.s, t)
+			lam, ok := concat(op, lr, ls)
+			if !ok {
+				flush()
+				continue
+			}
+			if cur != nil && lineage.EquivalentSyntactic(cur.Lineage, lam) && cur.T.Te == t {
+				cur.T.Te = t + 1
+				continue
+			}
+			flush()
+			nt := relation.NewDerived(fd.fact, lam, interval.Interval{Ts: t, Te: t + 1})
+			cur = &nt
+		}
+		flush()
+	}
+	return out
+}
+
+// concat applies the operation's lineage-concatenation function and filter
+// at a single time point. ok is false when the time point yields no output.
+func concat(op core.Op, lr, ls *lineage.Expr) (*lineage.Expr, bool) {
+	switch op {
+	case core.OpUnion:
+		if lr == nil && ls == nil {
+			return nil, false
+		}
+		return lineage.Or(lr, ls), true
+	case core.OpIntersect:
+		if lr == nil || ls == nil {
+			return nil, false
+		}
+		return lineage.And(lr, ls), true
+	default: // core.OpExcept
+		if lr == nil {
+			return nil, false
+		}
+		return lineage.AndNot(lr, ls), true
+	}
+}
+
+func lineageAt(ts []relation.Tuple, t interval.Time) *lineage.Expr {
+	for i := range ts {
+		if ts[i].T.Contains(t) {
+			return ts[i].Lineage
+		}
+	}
+	return nil
+}
+
+func domain(a, b []relation.Tuple) (lo, hi interval.Time, any bool) {
+	first := true
+	scan := func(ts []relation.Tuple) {
+		for i := range ts {
+			if first {
+				lo, hi = ts[i].T.Ts, ts[i].T.Te
+				first = false
+				continue
+			}
+			lo = interval.Min(lo, ts[i].T.Ts)
+			hi = interval.Max(hi, ts[i].T.Te)
+		}
+	}
+	scan(a)
+	scan(b)
+	return lo, hi, !first
+}

@@ -1,0 +1,83 @@
+package ref
+
+import (
+	"testing"
+
+	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// The oracle itself gets a golden test against the paper's Fig. 3 so that
+// the cross-validation suite does not rest on an untested gold standard.
+func TestOracleFig3(t *testing.T) {
+	a := relation.New(relation.NewSchema("a", "Product"))
+	a.AddBase(relation.NewFact("milk"), "a1", 2, 10, 0.3)
+	a.AddBase(relation.NewFact("chips"), "a2", 4, 7, 0.8)
+	a.AddBase(relation.NewFact("dates"), "a3", 1, 3, 0.6)
+	c := relation.New(relation.NewSchema("c", "Product"))
+	c.AddBase(relation.NewFact("milk"), "c1", 1, 4, 0.6)
+	c.AddBase(relation.NewFact("milk"), "c2", 6, 8, 0.7)
+	c.AddBase(relation.NewFact("chips"), "c3", 4, 5, 0.7)
+	c.AddBase(relation.NewFact("chips"), "c4", 7, 9, 0.8)
+
+	union := Apply(core.OpUnion, a, c)
+	if union.Len() != 9 {
+		t.Errorf("∪: %d tuples\n%s", union.Len(), union)
+	}
+	except := Apply(core.OpExcept, a, c)
+	if except.Len() != 7 {
+		t.Errorf("−: %d tuples\n%s", except.Len(), except)
+	}
+	intersect := Apply(core.OpIntersect, a, c)
+	if intersect.Len() != 3 {
+		t.Errorf("∩: %d tuples\n%s", intersect.Len(), intersect)
+	}
+	// Spot-check one lineage per op.
+	find := func(r *relation.Relation, fact string, ts int64) *relation.Tuple {
+		for i := range r.Tuples {
+			if r.Tuples[i].Key() == fact && r.Tuples[i].T.Ts == ts {
+				return &r.Tuples[i]
+			}
+		}
+		t.Fatalf("missing (%s,%d)", fact, ts)
+		return nil
+	}
+	if got := find(union, "milk", 2).Lineage.String(); got != "a1∨c1" {
+		t.Errorf("∪ lineage: %s", got)
+	}
+	if got := find(except, "milk", 6).Lineage.String(); got != "a1∧¬c2" {
+		t.Errorf("− lineage: %s", got)
+	}
+	if got := find(intersect, "chips", 4).Lineage.String(); got != "a2∧c3" {
+		t.Errorf("∩ lineage: %s", got)
+	}
+	// The oracle's outputs satisfy the model invariants too.
+	for _, r := range []*relation.Relation{union, except, intersect} {
+		if err := r.ValidateDuplicateFree(); err != nil {
+			t.Errorf("oracle output: %v", err)
+		}
+	}
+}
+
+func TestOracleEmptyInputs(t *testing.T) {
+	e1 := relation.New(relation.NewSchema("e1", "F"))
+	e2 := relation.New(relation.NewSchema("e2", "F"))
+	r := relation.New(relation.NewSchema("r", "F"))
+	r.AddBase(relation.NewFact("x"), "r1", 1, 4, 0.5)
+
+	if got := Apply(core.OpUnion, e1, e2); got.Len() != 0 {
+		t.Error("∪ of empties")
+	}
+	if got := Apply(core.OpUnion, r, e2); got.Len() != 1 {
+		t.Error("∪ with one empty")
+	}
+	if got := Apply(core.OpIntersect, r, e2); got.Len() != 0 {
+		t.Error("∩ with empty")
+	}
+	if got := Apply(core.OpExcept, r, e2); got.Len() != 1 {
+		t.Error("− with empty right")
+	}
+	if got := Apply(core.OpExcept, e1, r); got.Len() != 0 {
+		t.Error("− with empty left")
+	}
+}

@@ -1,0 +1,351 @@
+// Package relation implements the sequenced temporal-probabilistic relation
+// model of the paper: a TP relation over schema RTp(F, λ, T, p) is a finite,
+// duplicate-free set of tuples, each carrying a fact (the conventional
+// attribute values), a lineage expression, a half-open time interval and a
+// marginal probability.
+//
+// The package provides construction and validation (duplicate-freeness),
+// the timeslice operator τ_t^p used to define snapshot reducibility,
+// change-preservation coalescing, sorting by (fact, Ts) as required by the
+// LAWA sweep, and the dataset statistics reported in Table IV of the paper.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/tpset/tpset/internal/interval"
+	"github.com/tpset/tpset/internal/lineage"
+)
+
+// Schema describes the conventional attributes F = (A1, ..., Am) of a TP
+// relation. The temporal, lineage and probability attributes are implicit.
+type Schema struct {
+	Name  string
+	Attrs []string
+}
+
+// NewSchema returns a schema with the given relation name and attribute
+// names.
+func NewSchema(name string, attrs ...string) Schema {
+	return Schema{Name: name, Attrs: attrs}
+}
+
+// Compatible reports whether two schemas are union-compatible: same number
+// of attributes. Attribute names may differ (as in SQL set operations).
+func (s Schema) Compatible(o Schema) bool { return len(s.Attrs) == len(o.Attrs) }
+
+// Fact is the tuple of conventional attribute values r.F. Facts are
+// compared by value; Key renders the canonical comparison key.
+type Fact []string
+
+// NewFact builds a fact from attribute values.
+func NewFact(values ...string) Fact { return Fact(values) }
+
+// Key returns a canonical string key for grouping and ordering. Values are
+// joined with an unlikely separator; for single-attribute facts the key is
+// the value itself.
+func (f Fact) Key() string {
+	if len(f) == 1 {
+		return f[0]
+	}
+	return strings.Join(f, "\x1f")
+}
+
+// Equal reports value equality of two facts.
+func (f Fact) Equal(o Fact) bool {
+	if len(f) != len(o) {
+		return false
+	}
+	for i := range f {
+		if f[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the fact as ('v1','v2',...).
+func (f Fact) String() string {
+	parts := make([]string, len(f))
+	for i, v := range f {
+		parts[i] = "'" + v + "'"
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Tuple is a TP tuple (F, λ, T, p). Prob caches the probabilistic valuation
+// of Lineage; for base tuples it is the base probability, for derived tuples
+// it is filled by the operators (linear-time for 1OF lineage).
+type Tuple struct {
+	Fact    Fact
+	Lineage *lineage.Expr
+	T       interval.Interval
+	Prob    float64
+
+	key string // cached Fact.Key()
+}
+
+// NewBase returns a base tuple: its lineage is the atomic variable id with
+// marginal probability p, valid over [ts, te).
+func NewBase(fact Fact, id string, ts, te interval.Time, p float64) Tuple {
+	return Tuple{
+		Fact:    fact,
+		Lineage: lineage.Var(id, p),
+		T:       interval.New(ts, te),
+		Prob:    p,
+		key:     fact.Key(),
+	}
+}
+
+// NewDerived returns a result tuple with the given lineage; its probability
+// is computed from the lineage (exact and linear when the lineage is 1OF).
+func NewDerived(fact Fact, lam *lineage.Expr, iv interval.Interval) Tuple {
+	return Tuple{Fact: fact, Lineage: lam, T: iv, Prob: lam.Prob(), key: fact.Key()}
+}
+
+// NewDerivedLazy returns a result tuple without valuating its lineage
+// probability (Prob is NaN-free zero; call ComputeProb later). The set
+// operation benchmarks use this to time interval/lineage computation
+// separately from probability valuation, mirroring the paper's setup where
+// confidence computation is a separate stage.
+func NewDerivedLazy(fact Fact, lam *lineage.Expr, iv interval.Interval) Tuple {
+	return Tuple{Fact: fact, Lineage: lam, T: iv, key: fact.Key()}
+}
+
+// Key returns the cached canonical fact key.
+func (t *Tuple) Key() string {
+	if t.key == "" && len(t.Fact) > 0 {
+		t.key = t.Fact.Key()
+	}
+	return t.key
+}
+
+// ComputeProb (re)valuates the lineage probability into Prob.
+func (t *Tuple) ComputeProb() float64 {
+	t.Prob = t.Lineage.Prob()
+	return t.Prob
+}
+
+// String renders the tuple like ('milk', c1∧¬a1, [2,4), 0.42).
+func (t Tuple) String() string {
+	return fmt.Sprintf("(%s, %s, %s, %.4g)", strings.Trim(t.Fact.String(), "()"), t.Lineage, t.T, t.Prob)
+}
+
+// Relation is a finite set of TP tuples over a schema. The tuple order is
+// not semantically meaningful; Sort establishes the (fact, Ts) order the
+// sweep algorithms require.
+type Relation struct {
+	Schema Schema
+	Tuples []Tuple
+}
+
+// New returns an empty relation with the given schema.
+func New(schema Schema) *Relation {
+	return &Relation{Schema: schema}
+}
+
+// Add appends a tuple. The caller is responsible for keeping the relation
+// duplicate-free; ValidateDuplicateFree checks the invariant.
+func (r *Relation) Add(t Tuple) { r.Tuples = append(r.Tuples, t) }
+
+// AddBase appends a base tuple with a fresh identifier id and probability p.
+func (r *Relation) AddBase(fact Fact, id string, ts, te interval.Time, p float64) {
+	r.Add(NewBase(fact, id, ts, te, p))
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Clone returns a deep copy of the relation's tuple slice (lineage trees are
+// shared: they are immutable).
+func (r *Relation) Clone() *Relation {
+	out := &Relation{Schema: r.Schema, Tuples: make([]Tuple, len(r.Tuples))}
+	copy(out.Tuples, r.Tuples)
+	return out
+}
+
+// Sort orders tuples by (fact key, Ts, Te). This is the sort step of Fig. 5
+// in the paper and a precondition of the window advancer.
+func (r *Relation) Sort() {
+	sort.Slice(r.Tuples, func(i, j int) bool {
+		a, b := &r.Tuples[i], &r.Tuples[j]
+		if ak, bk := a.Key(), b.Key(); ak != bk {
+			return ak < bk
+		}
+		if a.T.Ts != b.T.Ts {
+			return a.T.Ts < b.T.Ts
+		}
+		return a.T.Te < b.T.Te
+	})
+}
+
+// IsSorted reports whether the relation is in (fact, Ts) order.
+func (r *Relation) IsSorted() bool {
+	return sort.SliceIsSorted(r.Tuples, func(i, j int) bool {
+		a, b := &r.Tuples[i], &r.Tuples[j]
+		if ak, bk := a.Key(), b.Key(); ak != bk {
+			return ak < bk
+		}
+		return a.T.Ts < b.T.Ts
+	})
+}
+
+// ValidateDuplicateFree checks the model invariant: no two distinct tuples
+// share a fact over overlapping intervals. It returns a descriptive error
+// naming the first violating pair, or nil.
+func (r *Relation) ValidateDuplicateFree() error {
+	byFact := make(map[string][]interval.Interval, len(r.Tuples))
+	for i := range r.Tuples {
+		t := &r.Tuples[i]
+		byFact[t.Key()] = append(byFact[t.Key()], t.T)
+	}
+	for key, ivs := range byFact {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].Ts < ivs[j].Ts })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].Ts < ivs[i-1].Te {
+				return fmt.Errorf("relation %s: duplicate fact %q over overlapping intervals %s and %s",
+					r.Schema.Name, key, ivs[i-1], ivs[i])
+			}
+		}
+	}
+	return nil
+}
+
+// TimeDomain returns the smallest interval covering every tuple, and false
+// when the relation is empty.
+func (r *Relation) TimeDomain() (interval.Interval, bool) {
+	if len(r.Tuples) == 0 {
+		return interval.Interval{}, false
+	}
+	lo, hi := r.Tuples[0].T.Ts, r.Tuples[0].T.Te
+	for i := 1; i < len(r.Tuples); i++ {
+		lo = interval.Min(lo, r.Tuples[i].T.Ts)
+		hi = interval.Max(hi, r.Tuples[i].T.Te)
+	}
+	return interval.Interval{Ts: lo, Te: hi}, true
+}
+
+// Timeslice implements the timeslice operator τ_t^p: the probabilistic
+// snapshot of r at time point t. Every tuple valid at t is returned with the
+// degenerate interval [t, t+1).
+func (r *Relation) Timeslice(t interval.Time) *Relation {
+	out := New(r.Schema)
+	for i := range r.Tuples {
+		tp := &r.Tuples[i]
+		if tp.T.Contains(t) {
+			c := *tp
+			c.T = interval.Interval{Ts: t, Te: t + 1}
+			out.Tuples = append(out.Tuples, c)
+		}
+	}
+	return out
+}
+
+// LineageAt returns the lineage λ_t^{r,f} of the (unique, by
+// duplicate-freeness) tuple with fact key factKey valid at t, or nil
+// ("null") when no such tuple exists.
+func (r *Relation) LineageAt(factKey string, t interval.Time) *lineage.Expr {
+	for i := range r.Tuples {
+		tp := &r.Tuples[i]
+		if tp.Key() == factKey && tp.T.Contains(t) {
+			return tp.Lineage
+		}
+	}
+	return nil
+}
+
+// Coalesce merges temporally adjacent tuples with equal facts and
+// syntactically equivalent lineage, enforcing the maximality half of change
+// preservation (Def. 2). The result is sorted. LAWA output never needs
+// coalescing (its windows are maximal by construction); the operator exists
+// for data loaded from external sources and for the baselines.
+func (r *Relation) Coalesce() *Relation {
+	out := r.Clone()
+	out.Sort()
+	merged := out.Tuples[:0]
+	for _, t := range out.Tuples {
+		if n := len(merged); n > 0 {
+			last := &merged[n-1]
+			if last.Key() == t.Key() && last.T.Te == t.T.Ts &&
+				lineage.EquivalentSyntactic(last.Lineage, t.Lineage) {
+				last.T.Te = t.T.Te
+				continue
+			}
+		}
+		merged = append(merged, t)
+	}
+	out.Tuples = merged
+	return out
+}
+
+// Equal reports whether two relations contain the same tuples (same fact,
+// interval, syntactically equivalent lineage and probability within 1e-9),
+// ignoring order. It is used heavily by the cross-validation test suite.
+func Equal(a, b *Relation) bool {
+	return Diff(a, b) == ""
+}
+
+// Diff returns a human-readable description of the first difference between
+// the two relations, or "" when they are equal up to order.
+func Diff(a, b *Relation) string {
+	as, bs := a.Clone(), b.Clone()
+	as.Sort()
+	bs.Sort()
+	if len(as.Tuples) != len(bs.Tuples) {
+		return fmt.Sprintf("cardinality %d vs %d", len(as.Tuples), len(bs.Tuples))
+	}
+	for i := range as.Tuples {
+		x, y := &as.Tuples[i], &bs.Tuples[i]
+		switch {
+		case x.Key() != y.Key():
+			return fmt.Sprintf("tuple %d: fact %s vs %s", i, x.Fact, y.Fact)
+		case x.T != y.T:
+			return fmt.Sprintf("tuple %d (%s): interval %s vs %s", i, x.Fact, x.T, y.T)
+		case !lineage.EquivalentSyntactic(x.Lineage, y.Lineage):
+			return fmt.Sprintf("tuple %d (%s %s): lineage %s vs %s", i, x.Fact, x.T, x.Lineage, y.Lineage)
+		case abs(x.Prob-y.Prob) > 1e-9:
+			return fmt.Sprintf("tuple %d (%s %s): prob %v vs %v", i, x.Fact, x.T, x.Prob, y.Prob)
+		}
+	}
+	return ""
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// String renders the relation as a small table, ordered by (fact, Ts).
+func (r *Relation) String() string {
+	c := r.Clone()
+	c.Sort()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s):\n", r.Schema.Name, strings.Join(r.Schema.Attrs, ","))
+	for i := range c.Tuples {
+		fmt.Fprintf(&b, "  %s\n", c.Tuples[i])
+	}
+	return b.String()
+}
+
+// ComputeProbs valuates the lineage probability of every tuple in place
+// (exact: linear for 1OF lineage, Shannon expansion otherwise).
+func (r *Relation) ComputeProbs() {
+	for i := range r.Tuples {
+		r.Tuples[i].ComputeProb()
+	}
+}
+
+// ComputeProbsMonteCarlo estimates every tuple's probability with n
+// possible-world samples per tuple, using the given random source. It is
+// the practical fallback for large outputs of repeating (#P-hard) queries
+// where exact Shannon expansion would blow up; the standard error per
+// tuple is at most 0.5/sqrt(n).
+func (r *Relation) ComputeProbsMonteCarlo(n int, rng lineage.RNG) {
+	for i := range r.Tuples {
+		r.Tuples[i].Prob = r.Tuples[i].Lineage.ProbMonteCarlo(n, rng)
+	}
+}

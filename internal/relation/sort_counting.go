@@ -1,0 +1,87 @@
+package relation
+
+import (
+	"sort"
+
+	"github.com/tpset/tpset/internal/interval"
+)
+
+// SortCounting orders the relation by (fact, Ts) using a counting sort on
+// the start points within each fact group, as suggested in §VI-B of the
+// paper for the case where ΩT fits in main memory: "a variant of
+// counting-based sorting could also be used, and in this case the
+// corresponding complexity is even linear".
+//
+// The cost is O(n + fd·log fd + Σ group time ranges); it degrades into
+// wasted memory when a group's time range vastly exceeds its tuple count,
+// so SortCounting falls back to the comparison sort for any group whose
+// range exceeds maxSpread × its size. The result is identical to Sort.
+func (r *Relation) SortCounting() {
+	const maxSpread = 16
+
+	// Group tuple indexes by fact.
+	groups := make(map[string][]int32, 64)
+	for i := range r.Tuples {
+		k := r.Tuples[i].Key()
+		groups[k] = append(groups[k], int32(i))
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	out := make([]Tuple, 0, len(r.Tuples))
+	var counts []int32
+	for _, k := range keys {
+		idxs := groups[k]
+		lo, hi := r.Tuples[idxs[0]].T.Ts, r.Tuples[idxs[0]].T.Ts
+		for _, i := range idxs[1:] {
+			ts := r.Tuples[i].T.Ts
+			lo = interval.Min(lo, ts)
+			hi = interval.Max(hi, ts)
+		}
+		span := hi - lo + 1
+		if span > int64(len(idxs))*maxSpread {
+			// Sparse group: comparison sort is cheaper than a huge
+			// counting array.
+			sort.Slice(idxs, func(a, b int) bool {
+				ta, tb := &r.Tuples[idxs[a]], &r.Tuples[idxs[b]]
+				if ta.T.Ts != tb.T.Ts {
+					return ta.T.Ts < tb.T.Ts
+				}
+				return ta.T.Te < tb.T.Te
+			})
+			for _, i := range idxs {
+				out = append(out, r.Tuples[i])
+			}
+			continue
+		}
+		// Counting sort over start points. Duplicate-free groups cannot
+		// share a start point, so one slot per time point suffices; the
+		// count array still tolerates duplicates for robustness on
+		// unvalidated input.
+		if int64(cap(counts)) < span {
+			counts = make([]int32, span)
+		}
+		counts = counts[:span]
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, i := range idxs {
+			counts[r.Tuples[i].T.Ts-lo]++
+		}
+		var sum int32
+		for i := range counts {
+			counts[i], sum = sum, sum+counts[i]
+		}
+		base := len(out)
+		out = out[:base+len(idxs)]
+		for _, i := range idxs {
+			slot := &counts[r.Tuples[i].T.Ts-lo]
+			out[base+int(*slot)] = r.Tuples[i]
+			*slot++
+		}
+	}
+	r.Tuples = out
+}

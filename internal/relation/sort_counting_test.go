@@ -1,0 +1,64 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func randomRel(rng *rand.Rand, n, facts int, maxGap int64) *Relation {
+	r := New(NewSchema("r", "F"))
+	cursors := make([]int64, facts)
+	for i := 0; i < n; i++ {
+		f := rng.Intn(facts)
+		ts := cursors[f] + rng.Int63n(maxGap+1)
+		te := ts + 1 + rng.Int63n(4)
+		cursors[f] = te
+		r.AddBase(NewFact(fmt.Sprintf("f%03d", f)), fmt.Sprintf("t%d", i), ts, te, 0.5)
+	}
+	// Shuffle so the input is unsorted.
+	rng.Shuffle(len(r.Tuples), func(i, j int) {
+		r.Tuples[i], r.Tuples[j] = r.Tuples[j], r.Tuples[i]
+	})
+	return r
+}
+
+// TestSortCountingMatchesSort: both sorts produce identical orderings on
+// duplicate-free relations, across dense and sparse time domains.
+func TestSortCountingMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		maxGap := int64(1 + rng.Intn(200)) // dense → sparse groups
+		a := randomRel(rng, 1+rng.Intn(300), 1+rng.Intn(5), maxGap)
+		b := a.Clone()
+		a.Sort()
+		b.SortCounting()
+		if len(a.Tuples) != len(b.Tuples) {
+			t.Fatal("length changed")
+		}
+		for i := range a.Tuples {
+			x, y := &a.Tuples[i], &b.Tuples[i]
+			if x.Key() != y.Key() || x.T != y.T || x.Lineage != y.Lineage {
+				t.Fatalf("trial %d (maxGap %d): position %d differs: %v vs %v",
+					trial, maxGap, i, x, y)
+			}
+		}
+		if !b.IsSorted() {
+			t.Fatalf("trial %d: counting sort output not sorted", trial)
+		}
+	}
+}
+
+func TestSortCountingEmptyAndSingle(t *testing.T) {
+	e := New(NewSchema("e", "F"))
+	e.SortCounting()
+	if e.Len() != 0 {
+		t.Fatal("empty")
+	}
+	s := New(NewSchema("s", "F"))
+	s.AddBase(NewFact("x"), "t1", 5, 9, 0.5)
+	s.SortCounting()
+	if s.Len() != 1 || s.Tuples[0].T.Ts != 5 {
+		t.Fatal("single")
+	}
+}

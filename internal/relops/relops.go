@@ -1,0 +1,171 @@
+// Package relops extends the TP set operations toward full relational
+// algebra — the direction the paper names as future work (§VIII). It
+// provides duplicate-free-preserving selection and temporal-probabilistic
+// projection with lineage-disjunctive duplicate elimination.
+//
+// Projection is the interesting case: projecting facts onto an attribute
+// subset can map several distinct facts to the same projected fact, so at
+// one time point several input tuples may support one output fact. The
+// output lineage is the disjunction of the contributors' lineages, and the
+// intervals are re-fragmented at contributor boundaries (snapshot
+// reducibility) and re-coalesced where lineage stays equivalent (change
+// preservation). Unlike non-repeating set queries, projections can produce
+// output lineage that is NOT in one-occurrence form further downstream —
+// this is exactly the boundary where probabilistic query evaluation leaves
+// the tractable class, and the probability evaluator falls back to Shannon
+// expansion automatically.
+package relops
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tpset/tpset/internal/interval"
+	"github.com/tpset/tpset/internal/lineage"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// Predicate decides tuple membership for Restrict.
+type Predicate func(*relation.Tuple) bool
+
+// Restrict returns the tuples satisfying the predicate (generalized σ).
+// Selections preserve duplicate-freeness and change preservation trivially.
+func Restrict(r *relation.Relation, pred Predicate) *relation.Relation {
+	out := relation.New(r.Schema)
+	for i := range r.Tuples {
+		if pred(&r.Tuples[i]) {
+			out.Tuples = append(out.Tuples, r.Tuples[i])
+		}
+	}
+	return out
+}
+
+// SelectEq is σ[attr = value].
+func SelectEq(r *relation.Relation, attr, value string) (*relation.Relation, error) {
+	idx := -1
+	for i, a := range r.Schema.Attrs {
+		if a == attr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("relops: relation %q has no attribute %q", r.Schema.Name, attr)
+	}
+	return Restrict(r, func(t *relation.Tuple) bool {
+		return idx < len(t.Fact) && t.Fact[idx] == value
+	}), nil
+}
+
+// Project computes the TP projection of r onto the named attributes.
+// Per projected fact, overlapping contributor intervals are fragmented at
+// each other's boundaries, fragment lineages are or()-ed over the
+// contributors (possible-worlds duplicate elimination), and adjacent
+// fragments with syntactically equivalent lineage are re-merged.
+func Project(r *relation.Relation, attrs ...string) (*relation.Relation, error) {
+	idxs := make([]int, len(attrs))
+	for ai, a := range attrs {
+		idxs[ai] = -1
+		for i, have := range r.Schema.Attrs {
+			if have == a {
+				idxs[ai] = i
+				break
+			}
+		}
+		if idxs[ai] < 0 {
+			return nil, fmt.Errorf("relops: relation %q has no attribute %q", r.Schema.Name, a)
+		}
+	}
+
+	type contributor struct {
+		t   interval.Time
+		del bool
+		tu  *relation.Tuple
+	}
+	groups := make(map[string][]contributor)
+	factOf := make(map[string]relation.Fact)
+	for i := range r.Tuples {
+		tu := &r.Tuples[i]
+		pf := make(relation.Fact, len(idxs))
+		for ai, idx := range idxs {
+			if idx < len(tu.Fact) {
+				pf[ai] = tu.Fact[idx]
+			}
+		}
+		k := pf.Key()
+		factOf[k] = pf
+		groups[k] = append(groups[k],
+			contributor{tu.T.Ts, false, tu}, contributor{tu.T.Te, true, tu})
+	}
+
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	out := relation.New(relation.Schema{Name: "π(" + r.Schema.Name + ")", Attrs: attrs})
+	for _, k := range keys {
+		evs := groups[k]
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].t != evs[j].t {
+				return evs[i].t < evs[j].t
+			}
+			return evs[i].del && !evs[j].del
+		})
+		active := make(map[*relation.Tuple]struct{})
+		var prev interval.Time
+		lastIdx := -1 // index into out.Tuples of this group's last fragment
+		for i := 0; i < len(evs); {
+			t := evs[i].t
+			if len(active) > 0 && prev < t {
+				lam := disjoin(active)
+				iv := interval.Interval{Ts: prev, Te: t}
+				if last := tupleAt(out, lastIdx); last != nil && last.T.Te == iv.Ts &&
+					lineage.EquivalentSyntactic(last.Lineage, lam) {
+					last.T.Te = iv.Te // change preservation: extend
+				} else {
+					out.Tuples = append(out.Tuples, relation.NewDerived(factOf[k], lam, iv))
+					lastIdx = len(out.Tuples) - 1
+				}
+			}
+			for i < len(evs) && evs[i].t == t {
+				if evs[i].del {
+					delete(active, evs[i].tu)
+				} else {
+					active[evs[i].tu] = struct{}{}
+				}
+				i++
+			}
+			prev = t
+		}
+	}
+	return out, nil
+}
+
+func tupleAt(r *relation.Relation, idx int) *relation.Tuple {
+	if idx < 0 {
+		return nil
+	}
+	return &r.Tuples[idx]
+}
+
+// disjoin or()s the lineages of the active contributors in a deterministic
+// order (sorted by interval, then canonical lineage).
+func disjoin(active map[*relation.Tuple]struct{}) *lineage.Expr {
+	tuples := make([]*relation.Tuple, 0, len(active))
+	for t := range active {
+		tuples = append(tuples, t)
+	}
+	sort.Slice(tuples, func(i, j int) bool {
+		if c := tuples[i].T.Compare(tuples[j].T); c != 0 {
+			return c < 0
+		}
+		return tuples[i].Lineage.Canonical() < tuples[j].Lineage.Canonical()
+	})
+	var lam *lineage.Expr
+	for _, t := range tuples {
+		lam = lineage.Or(lam, t.Lineage)
+	}
+	return lam
+}

@@ -1,0 +1,212 @@
+// Package tpset is a temporal-probabilistic (TP) database library: the
+// public API of this repository's reproduction of
+//
+//	K. Papaioannou, M. Theobald, M. Böhlen:
+//	"Supporting Set Operations in Temporal-Probabilistic Databases",
+//	ICDE 2018, pp. 1180–1191.
+//
+// A TP relation is a duplicate-free set of tuples (F, λ, T, p): a fact, a
+// Boolean lineage formula over independent base-tuple variables, a
+// half-open validity interval and a marginal probability. The library
+// evaluates the three TP set operations — union ∪Tp, intersection ∩Tp and
+// difference −Tp — under a sequenced possible-worlds semantics, in
+// linearithmic time, using the paper's lineage-aware window advancer
+// (LAWA).
+//
+// # Quick start
+//
+//	a := tpset.NewRelation("bought", "Product")
+//	a.AddBase(tpset.F("milk"), "a1", 2, 10, 0.3)
+//	c := tpset.NewRelation("stock", "Product")
+//	c.AddBase(tpset.F("milk"), "c1", 1, 4, 0.6)
+//
+//	out, err := tpset.Except(c, a) // 'in stock and not bought'
+//
+// Each output tuple carries a finalized lineage formula (for example
+// c1∧¬a1) and its exact marginal probability. For query trees, parse the
+// Def. 4 grammar:
+//
+//	q, _ := tpset.ParseQuery("c - (a | b)")
+//	out, _ := tpset.Eval(q, map[string]*tpset.Relation{"a": a, "b": b, "c": c})
+//
+// Non-repeating queries (every relation referenced at most once) are
+// guaranteed to produce one-occurrence-form lineage, whose probability the
+// library computes exactly in linear time; repeating queries fall back to
+// exact Shannon expansion (worst-case exponential — the problem is
+// #P-hard) or Monte-Carlo estimation.
+//
+// The internal packages additionally provide the four baselines of the
+// paper's evaluation (NORM, TPDB grounding, Timeline Index, OIP), the
+// synthetic and real-world-shaped workload generators, and the benchmark
+// harness regenerating every figure and table; see DESIGN.md.
+package tpset
+
+import (
+	"io"
+
+	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/csvio"
+	"github.com/tpset/tpset/internal/interval"
+	"github.com/tpset/tpset/internal/lineage"
+	"github.com/tpset/tpset/internal/query"
+	"github.com/tpset/tpset/internal/relation"
+	"github.com/tpset/tpset/internal/relops"
+)
+
+// Re-exported model types. The aliases expose the full method sets of the
+// internal implementations as public API.
+type (
+	// Relation is a duplicate-free temporal-probabilistic relation.
+	Relation = relation.Relation
+	// Tuple is a TP tuple (F, λ, T, p).
+	Tuple = relation.Tuple
+	// Fact is the conventional-attribute part of a tuple.
+	Fact = relation.Fact
+	// Schema names a relation and its conventional attributes.
+	Schema = relation.Schema
+	// Interval is a half-open interval [Ts, Te) over the time domain.
+	Interval = interval.Interval
+	// Time is a point of the time domain ΩT.
+	Time = interval.Time
+	// Lineage is an immutable Boolean lineage formula.
+	Lineage = lineage.Expr
+	// Window is a lineage-aware temporal window (F, winTs, winTe, λr, λs).
+	Window = core.Window
+	// Stats summarizes a relation (Table IV metrics).
+	Stats = relation.Stats
+	// Query is a parsed TP set query (Def. 4).
+	Query = query.Node
+	// Options tunes the set-operation drivers.
+	Options = core.Options
+	// Op identifies a TP set operation.
+	Op = core.Op
+)
+
+// The three TP set operations.
+const (
+	OpUnion     = core.OpUnion
+	OpIntersect = core.OpIntersect
+	OpExcept    = core.OpExcept
+)
+
+// NewRelation returns an empty relation with the given name and
+// conventional attribute names.
+func NewRelation(name string, attrs ...string) *Relation {
+	return relation.New(relation.NewSchema(name, attrs...))
+}
+
+// F builds a fact from attribute values.
+func F(values ...string) Fact { return relation.NewFact(values...) }
+
+// NewInterval returns [ts, te); it panics when ts >= te.
+func NewInterval(ts, te Time) Interval { return interval.New(ts, te) }
+
+// Union computes r ∪Tp s: at each time point, the facts with non-zero
+// probability to be in r or in s (lineage or(λr, λs)).
+func Union(r, s *Relation) (*Relation, error) { return core.Union(r, s, core.Options{}) }
+
+// Intersect computes r ∩Tp s: at each time point, the facts with non-zero
+// probability to be in r and in s (lineage and(λr, λs)).
+func Intersect(r, s *Relation) (*Relation, error) { return core.Intersect(r, s, core.Options{}) }
+
+// Except computes r −Tp s: at each time point, the facts with non-zero
+// probability to be in r and not in s (lineage andNot(λr, λs)).
+func Except(r, s *Relation) (*Relation, error) { return core.Except(r, s, core.Options{}) }
+
+// Apply dispatches to Union, Intersect or Except with explicit options.
+func Apply(op Op, r, s *Relation, opts Options) (*Relation, error) {
+	return core.Apply(op, r, s, opts)
+}
+
+// Windows exposes the raw LAWA window stream for the two relations; mainly
+// useful for inspection and teaching (cf. Example 3 of the paper).
+func Windows(r, s *Relation) []Window { return core.Windows(r, s) }
+
+// Lineage constructors: variables and the concatenation functions of
+// Table I.
+var (
+	// NewVar returns an atomic lineage variable with probability p.
+	NewVar = lineage.Var
+	// And returns (l)∧(r).
+	And = lineage.And
+	// Or returns (l)∨(r), or the non-nil operand when the other is null.
+	Or = lineage.Or
+	// AndNot returns (l) when r is null and (l)∧¬(r) otherwise.
+	AndNot = lineage.AndNot
+	// Not returns ¬(e).
+	Not = lineage.Not
+)
+
+// ParseQuery parses the TP set query surface syntax, e.g. "c - (a | b)" or
+// "sigma[Product='milk'](c) & a". See the query package for the grammar.
+func ParseQuery(input string) (Query, error) { return query.Parse(input) }
+
+// MustParseQuery is ParseQuery panicking on error.
+func MustParseQuery(input string) Query { return query.MustParse(input) }
+
+// Eval evaluates a parsed query over named relations with LAWA.
+func Eval(q Query, db map[string]*Relation) (*Relation, error) { return query.Evaluate(q, db) }
+
+// IsNonRepeating reports whether every relation occurs at most once in q;
+// such queries have PTIME data complexity (Theorem 1 / Corollary 1).
+func IsNonRepeating(q Query) bool { return query.IsNonRepeating(q) }
+
+// ComputeStats summarizes a relation with the Table IV metrics.
+func ComputeStats(r *Relation) Stats { return relation.ComputeStats(r) }
+
+// OverlapFactor computes the §VII-B overlapping factor of an input pair.
+func OverlapFactor(r, s *Relation) float64 { return relation.OverlapFactor(r, s) }
+
+// SelectEq computes σ[attr = value](r): the tuples whose attribute equals
+// the value. Selections preserve duplicate-freeness and commute with the
+// set operations (see OptimizeQuery).
+func SelectEq(r *Relation, attr, value string) (*Relation, error) {
+	return relops.SelectEq(r, attr, value)
+}
+
+// Project computes the TP projection of r onto the named attributes —
+// an extension toward the full relational algebra the paper lists as
+// future work. Facts that coincide after projection are merged per time
+// point by or()-ing their lineages, keeping the result duplicate-free and
+// change-preserved. Downstream combinations of projected relations may
+// leave the tractable 1OF class; probability valuation then switches to
+// exact Shannon expansion automatically.
+func Project(r *Relation, attrs ...string) (*Relation, error) {
+	return relops.Project(r, attrs...)
+}
+
+// OptimizeQuery pushes selections below set operations (a semantics-
+// preserving rewrite; selections commute with ∪Tp, ∩Tp and −Tp).
+func OptimizeQuery(q Query) Query { return query.PushDownSelections(q) }
+
+// EvalOptimized rewrites and evaluates the query with LAWA.
+func EvalOptimized(q Query, db map[string]*Relation) (*Relation, error) {
+	return query.Evaluate(query.PushDownSelections(q), db)
+}
+
+// SimplifyLineage applies sound syntactic rewrites (double negation,
+// idempotence, absorption) that can shrink the repeated-variable patterns
+// produced by repeating queries — sometimes back into the tractable 1OF
+// class. Semantics (possible-worlds probability) is preserved.
+func SimplifyLineage(e *Lineage) *Lineage { return lineage.Simplify(e) }
+
+// ParseLineage parses a rendered lineage formula (e.g. "c1∧¬(a1∨b1)"; the
+// ASCII spellings &, |, !, * and + are accepted). Variable probabilities
+// are resolved through the probs callback. A nil result with nil error is
+// the null lineage.
+func ParseLineage(input string, probs func(id string) (float64, error)) (*Lineage, error) {
+	return lineage.Parse(input, probs)
+}
+
+// ReadCSV loads a base relation from CSV (columns: facts..., lineage id,
+// ts, te, p).
+func ReadCSV(rd io.Reader, name string) (*Relation, error) { return csvio.Read(rd, name) }
+
+// WriteCSV stores a relation as CSV.
+func WriteCSV(w io.Writer, r *Relation) error { return csvio.Write(w, r) }
+
+// ReadCSVFile loads a relation from the file at path.
+func ReadCSVFile(path, name string) (*Relation, error) { return csvio.ReadFile(path, name) }
+
+// WriteCSVFile stores a relation at path.
+func WriteCSVFile(path string, r *Relation) error { return csvio.WriteFile(path, r) }
