@@ -36,6 +36,7 @@ func main() {
 		scale    = flag.Float64("scale", 0.02, "dataset size multiplier relative to the paper")
 		budget   = flag.Duration("budget", 15*time.Second, "per-run time budget before an approach is cut off")
 		seed     = flag.Int64("seed", 1, "generator seed")
+		workers  = flag.Int("workers", 0, "worker budget for the parallel-engine experiments (0 = GOMAXPROCS)")
 		csvDir   = flag.String("csv", "", "also write <dir>/<exp>.csv files")
 		quiet    = flag.Bool("q", false, "suppress per-run progress lines")
 		speedups = flag.Bool("speedups", false, "print who-wins-by-what-factor digest per experiment")
@@ -60,7 +61,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := bench.Config{Scale: *scale, Budget: *budget, Seed: *seed}
+	cfg := bench.Config{Scale: *scale, Budget: *budget, Seed: *seed, Workers: *workers}
 	if !*quiet {
 		cfg.Progress = os.Stderr
 	}

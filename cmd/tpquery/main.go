@@ -7,8 +7,10 @@
 //	tpquery -rel a=bought.csv -rel b=ordered.csv -rel c=stock.csv \
 //	        -q "c - (a | b)"
 //
-// Flags select the execution algorithm (lawa or norm) and whether to print
-// the query's complexity classification (Theorem 1 / Corollary 1).
+// Flags select the execution algorithm (lawa or norm), the worker budget
+// (-workers above one evaluates on the partition-parallel engine) and
+// whether to print the query's complexity classification (Theorem 1 /
+// Corollary 1).
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"strings"
 
 	"github.com/tpset/tpset/internal/csvio"
+	"github.com/tpset/tpset/internal/engine"
 	"github.com/tpset/tpset/internal/query"
 	"github.com/tpset/tpset/internal/relation"
 )
@@ -42,6 +45,7 @@ func main() {
 		q       = flag.String("q", "", "TP set query, e.g. \"c - (a | b)\"")
 		algo    = flag.String("algo", "lawa", "execution algorithm: lawa | norm")
 		explain = flag.Bool("explain", false, "print the parsed tree and complexity class")
+		workers = flag.Int("workers", 1, "evaluate on the partition-parallel engine with this many workers (lawa only; 0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *q == "" || len(rels) == 0 {
@@ -71,7 +75,12 @@ func main() {
 		db[name] = r
 	}
 
-	out, err := query.EvaluateWith(node, db, query.Algorithm(*algo))
+	var out *relation.Relation
+	if (*workers > 1 || *workers == 0) && query.Algorithm(*algo) == query.AlgoLAWA {
+		out, err = engine.Eval(node, db, engine.Config{Workers: *workers})
+	} else {
+		out, err = query.EvaluateWith(node, db, query.Algorithm(*algo))
+	}
 	if err != nil {
 		fatal("%v", err)
 	}

@@ -1,0 +1,3 @@
+module github.com/tpset/tpset
+
+go 1.22

@@ -23,6 +23,9 @@ type Config struct {
 	Progress io.Writer
 	// Seed makes runs reproducible.
 	Seed int64
+	// Workers caps the worker budget of the parallel-engine experiments
+	// (0 = runtime.GOMAXPROCS).
+	Workers int
 }
 
 func (c Config) scaled(n int) int {
@@ -59,6 +62,8 @@ func Experiments() []Experiment {
 		{"fig11a", "Webkit-like 20K–200K: set intersection", fig1011(false, core.OpIntersect)},
 		{"fig11b", "Webkit-like 20K–200K: set difference", fig1011(false, core.OpExcept)},
 		{"fig11c", "Webkit-like 20K–200K: set union", fig1011(false, core.OpUnion)},
+		{"par-size", "Partition-parallel engine vs sequential LAWA: size sweep (∩Tp)", ParSize},
+		{"par-workers", "Partition-parallel engine: worker-count sweep at fixed size (∩Tp)", ParWorkers},
 	}
 }
 

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestParallelExperimentsTiny runs cut-down versions of the parallel-engine
+// experiments end to end: every series must produce a cell per sweep point
+// with matching output cardinalities across worker counts (the engine's
+// determinism observed at the harness level).
+func TestParallelExperimentsTiny(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Workers = 4
+
+	res := ParSize(cfg)
+	if res.Name != "par-size" || len(res.Series) < 3 {
+		t.Fatalf("par-size shape: %q with %d series", res.Name, len(res.Series))
+	}
+	rows := len(res.Series[0].Cells)
+	if rows != len(parSizes) {
+		t.Fatalf("par-size rows %d, want %d", rows, len(parSizes))
+	}
+	for ri := 0; ri < rows; ri++ {
+		want := res.Series[0].Cells[ri].Output
+		for _, s := range res.Series[1:] {
+			if got := s.Cells[ri].Output; got != want {
+				t.Errorf("par-size row %d: %s output %d, seq %d", ri, s.Approach, got, want)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "par-size") {
+		t.Errorf("print output lacks experiment name:\n%s", buf.String())
+	}
+
+	res = ParWorkers(cfg)
+	if res.Name != "par-workers" || len(res.Series) != 1 {
+		t.Fatalf("par-workers shape: %q with %d series", res.Name, len(res.Series))
+	}
+	cells := res.Series[0].Cells
+	if len(cells) < 2 {
+		t.Fatalf("par-workers cells: %d", len(cells))
+	}
+	for _, c := range cells[1:] {
+		if c.Output != cells[0].Output {
+			t.Errorf("par-workers %s: output %d, 1w %d", c.Label, c.Output, cells[0].Output)
+		}
+	}
+}

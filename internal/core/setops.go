@@ -20,6 +20,12 @@ type Options struct {
 	// Validate additionally checks that both inputs are duplicate-free
 	// before running (O(n log n)); intended for data of unknown provenance.
 	Validate bool
+	// Parallelism requests partition-parallel execution with this many
+	// workers. The sequential drivers in this package ignore it; the
+	// dispatch layers (tpset.Apply, internal/engine) route operations with
+	// Parallelism > 1 through the partitioned execution engine. 0 and 1
+	// both mean sequential.
+	Parallelism int
 }
 
 // Op identifies a TP set operation.
@@ -163,6 +169,13 @@ func Except(r, s *relation.Relation, opts Options) (*relation.Relation, error) {
 func outSchema(r, s *relation.Relation, opSym string) relation.Schema {
 	name := r.Schema.Name + opSym + s.Schema.Name
 	return relation.Schema{Name: name, Attrs: r.Schema.Attrs}
+}
+
+// OutSchema returns the output schema op(r, s) produces. Exported for the
+// partition-parallel engine, whose merged result must carry the same
+// schema as the sequential drivers.
+func OutSchema(op Op, r, s *relation.Relation) relation.Schema {
+	return outSchema(r, s, op.String())
 }
 
 // Windows runs the advancer to completion and returns every candidate

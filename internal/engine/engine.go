@@ -1,0 +1,290 @@
+// Package engine is the partition-parallel, pipelined execution engine for
+// the TP set operations. It exploits the key property of the LAWA sweep
+// (Algorithm 1): the window advancer for a fact group never inspects
+// another fact's tuples, so ∪Tp, ∩Tp and −Tp decompose into independent
+// per-fact subproblems.
+//
+// The engine runs the four-step pipeline of Fig. 5 in partitioned form:
+//
+//	hash-partition by fact → per-shard sort → per-shard LAWA+λ → merge
+//
+// Both inputs are hash-partitioned by fact key into K shards (every fact
+// group lands wholly in one shard, so per-shard LAWA output is identical
+// to the sequential computation restricted to those facts). Shards are
+// sorted and swept concurrently on a bounded worker pool, and the sorted
+// shard outputs are k-way merged back into the canonical (fact, Ts) order
+// — the exact order the sequential drivers produce. Results are therefore
+// tuple-for-tuple identical to core.Apply: same facts, same intervals,
+// same lineage trees, same probabilities.
+//
+// Beyond single operations, Eval schedules independent subtrees of a
+// parsed query.Node concurrently, replacing the strictly sequential
+// post-order evaluation of package query; the engine registers itself as
+// query's parallel evaluator at init time, so query.Evaluate routes
+// through it whenever query.SetDefaultParallelism is above one.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// DefaultMinPartitionSize is the smallest average shard size worth the
+// partitioning and goroutine overhead; inputs that cannot fill at least
+// two shards of this size run on the sequential drivers unchanged.
+const DefaultMinPartitionSize = 2048
+
+// shardsPerWorker over-partitions relative to the worker count so that
+// skewed fact-size distributions still balance: a worker that draws a
+// heavy shard is compensated by others draining the light ones.
+const shardsPerWorker = 4
+
+// Config tunes the engine.
+type Config struct {
+	// Workers bounds the number of concurrently executing shard tasks.
+	// Values below one select runtime.GOMAXPROCS(0).
+	Workers int
+	// MinPartitionSize is the minimum average number of input tuples per
+	// shard; it throttles the shard count for small inputs and forces the
+	// sequential path when the input cannot fill two shards. Values below
+	// one select DefaultMinPartitionSize.
+	MinPartitionSize int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) minPartitionSize() int {
+	if c.MinPartitionSize > 0 {
+		return c.MinPartitionSize
+	}
+	return DefaultMinPartitionSize
+}
+
+// Engine executes TP set operations and query trees with partition
+// parallelism. An Engine is safe for concurrent use; the shard tasks and
+// sequential fallbacks of all concurrent operations share one bounded
+// worker pool, so the sweep work cannot oversubscribe the configured
+// budget (only the partition and merge phases run unpooled on the
+// calling goroutines).
+type Engine struct {
+	cfg Config
+	sem chan struct{}
+}
+
+// New returns an engine with the given configuration.
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg, sem: make(chan struct{}, cfg.workers())}
+}
+
+// Apply computes op(r, s) with partition parallelism. The result is
+// tuple-for-tuple identical to core.Apply(op, r, s, opts), in the same
+// canonical (fact, Ts) order. Inputs below the partitioning threshold run
+// on the sequential drivers directly.
+func (e *Engine) Apply(op core.Op, r, s *relation.Relation, opts core.Options) (*relation.Relation, error) {
+	if op != core.OpUnion && op != core.OpIntersect && op != core.OpExcept {
+		return nil, fmt.Errorf("engine: unknown operation %v", op)
+	}
+	if !r.Schema.Compatible(s.Schema) {
+		return nil, fmt.Errorf("engine: incompatible schemas %q (%d attrs) and %q (%d attrs)",
+			r.Schema.Name, len(r.Schema.Attrs), s.Schema.Name, len(s.Schema.Attrs))
+	}
+	if opts.Validate {
+		if err := r.ValidateDuplicateFree(); err != nil {
+			return nil, err
+		}
+		if err := s.ValidateDuplicateFree(); err != nil {
+			return nil, err
+		}
+		opts.Validate = false // already done; don't repeat per shard
+	}
+
+	shards := e.shardCount(r.Len() + s.Len())
+	if shards < 2 {
+		if opts.AssumeSorted {
+			// The sequential drivers run the advancer directly over
+			// AssumeSorted inputs, and the advancer's lazy tuple-key
+			// caching would race when concurrent operations share a
+			// relation; hand them private copies instead.
+			r, s = r.Clone(), s.Clone()
+		}
+		// Run under a pool slot: a query tree of many small operations
+		// must not oversubscribe the Workers budget just because each one
+		// falls back to the sequential driver. Safe to block here — the
+		// calling goroutine never already holds a slot.
+		e.sem <- struct{}{}
+		defer func() { <-e.sem }()
+		return core.Apply(op, r, s, opts)
+	}
+
+	rParts := partition(r, shards)
+	sParts := partition(s, shards)
+
+	outs := make([]*relation.Relation, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		rp, sp := rParts[i], sParts[i]
+		if skipShard(op, rp, sp) {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, rp, sp *relation.Relation) {
+			defer wg.Done()
+			e.sem <- struct{}{}
+			defer func() { <-e.sem }()
+			if !opts.AssumeSorted {
+				rp.Sort()
+				sp.Sort()
+			}
+			shardOpts := opts
+			shardOpts.AssumeSorted = true
+			outs[i], errs[i] = core.Apply(op, rp, sp, shardOpts)
+		}(i, rp, sp)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergeSorted(core.OutSchema(op, r, s), outs), nil
+}
+
+// Union computes r ∪Tp s with partition parallelism.
+func (e *Engine) Union(r, s *relation.Relation) (*relation.Relation, error) {
+	return e.Apply(core.OpUnion, r, s, core.Options{})
+}
+
+// Intersect computes r ∩Tp s with partition parallelism.
+func (e *Engine) Intersect(r, s *relation.Relation) (*relation.Relation, error) {
+	return e.Apply(core.OpIntersect, r, s, core.Options{})
+}
+
+// Except computes r −Tp s with partition parallelism.
+func (e *Engine) Except(r, s *relation.Relation) (*relation.Relation, error) {
+	return e.Apply(core.OpExcept, r, s, core.Options{})
+}
+
+// Apply is a convenience wrapper constructing a one-shot engine. The
+// worker budget is taken from opts.Parallelism.
+func Apply(op core.Op, r, s *relation.Relation, opts core.Options) (*relation.Relation, error) {
+	return New(Config{Workers: opts.Parallelism}).Apply(op, r, s, opts)
+}
+
+// shardCount picks the number of shards for an input of total tuples:
+// enough to keep every worker busy with slack for skew, but never so many
+// that the average shard drops below the minimum partition size. A count
+// below two means the input is not worth partitioning.
+func (e *Engine) shardCount(total int) int {
+	workers := e.cfg.workers()
+	if workers <= 1 {
+		return 1
+	}
+	shards := workers * shardsPerWorker
+	if max := total / e.cfg.minPartitionSize(); shards > max {
+		shards = max
+	}
+	return shards
+}
+
+// partition splits r into shards by fact-key hash. Every tuple of a fact
+// lands in shard fnv32a(key) mod shards, so fact groups stay whole, and
+// the per-shard tuple order preserves the input order (a stable
+// distribution: a sorted input yields sorted shards).
+//
+// Fact keys are recomputed from the fact values rather than read through
+// Tuple.Key, which lazily caches into the tuple — a write that would race
+// when concurrent operations share an input relation.
+func partition(r *relation.Relation, shards int) []*relation.Relation {
+	parts := make([]*relation.Relation, shards)
+	for i := range parts {
+		parts[i] = relation.New(r.Schema)
+	}
+	// Pre-size by an even split to avoid repeated growth; skewed shards
+	// re-grow as needed.
+	per := r.Len()/shards + 1
+	for i := range parts {
+		parts[i].Tuples = make([]relation.Tuple, 0, per)
+	}
+	for i := range r.Tuples {
+		t := &r.Tuples[i]
+		parts[fnv32a(t.Fact.Key())%uint32(shards)].Add(*t)
+	}
+	return parts
+}
+
+// fnv32a is FNV-1a over the key string, inlined to keep the per-tuple
+// partition loop allocation-free (hash/fnv would heap-allocate a hasher
+// and a byte-slice copy per tuple).
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// skipShard reports whether a shard can be skipped without running the
+// advancer: its λ-filter can never pass. Union needs at least one side,
+// intersection both, difference the left.
+func skipShard(op core.Op, rp, sp *relation.Relation) bool {
+	switch op {
+	case core.OpIntersect:
+		return rp.Len() == 0 || sp.Len() == 0
+	case core.OpExcept:
+		return rp.Len() == 0
+	default:
+		return rp.Len() == 0 && sp.Len() == 0
+	}
+}
+
+// mergeSorted k-way merges shard outputs — each already in (fact, Ts)
+// order, with pairwise disjoint fact sets — into one relation in global
+// canonical order, the order the sequential drivers emit. Comparison is
+// relation.Less, the same comparator relation.Sort uses (shard-output
+// tuples are engine-private, so its lazy key caching cannot race); a
+// linear scan over the shard heads suffices for the modest shard counts
+// the engine uses.
+func mergeSorted(schema relation.Schema, outs []*relation.Relation) *relation.Relation {
+	merged := relation.New(schema)
+	total := 0
+	heads := make([]int, len(outs))
+	live := outs[:0:0]
+	for _, o := range outs {
+		if o != nil && o.Len() > 0 {
+			live = append(live, o)
+			total += o.Len()
+		}
+	}
+	merged.Tuples = make([]relation.Tuple, 0, total)
+	heads = heads[:len(live)]
+	for len(live) > 0 {
+		best := 0
+		bt := &live[0].Tuples[heads[0]]
+		for i := 1; i < len(live); i++ {
+			t := &live[i].Tuples[heads[i]]
+			if relation.Less(t, bt) {
+				best, bt = i, t
+			}
+		}
+		merged.Tuples = append(merged.Tuples, *bt)
+		heads[best]++
+		if heads[best] == live[best].Len() {
+			live[best] = live[len(live)-1]
+			heads[best] = heads[len(live)-1]
+			live = live[:len(live)-1]
+			heads = heads[:len(heads)-1]
+		}
+	}
+	return merged
+}

@@ -1,0 +1,245 @@
+package engine_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/engine"
+	"github.com/tpset/tpset/internal/interval"
+	"github.com/tpset/tpset/internal/query"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+var allOps = []core.Op{core.OpUnion, core.OpIntersect, core.OpExcept}
+
+// randomRelations builds a random duplicate-free pair over a configurable
+// number of facts, exercising gaps, adjacency, containment and
+// exact-boundary coincidences (the same distribution as the core
+// cross-validation suite, widened to multi-fact inputs so partitioning
+// actually scatters work).
+func randomRelations(rng *rand.Rand, maxTuples, numFacts int) (r, s *relation.Relation) {
+	facts := make([]string, numFacts)
+	for i := range facts {
+		facts[i] = fmt.Sprintf("f%02d", i)
+	}
+	build := func(name string) *relation.Relation {
+		rel := relation.New(relation.NewSchema(name, "F"))
+		n := 1 + rng.Intn(maxTuples)
+		cursors := make(map[string]interval.Time)
+		for i := 0; i < n; i++ {
+			f := facts[rng.Intn(len(facts))]
+			ts := cursors[f] + interval.Time(rng.Intn(4))
+			te := ts + 1 + interval.Time(rng.Intn(5))
+			cursors[f] = te
+			rel.AddBase(relation.NewFact(f), fmt.Sprintf("%s%d", name, i), ts, te, 0.05+0.9*rng.Float64())
+		}
+		return rel
+	}
+	return build("x"), build("y")
+}
+
+// mustIdentical asserts got is tuple-for-tuple identical to want: same
+// order, same facts, same intervals, same rendered canonical lineage and
+// bit-identical probabilities.
+func mustIdentical(t *testing.T, label string, got, want *relation.Relation) {
+	t.Helper()
+	if got.Schema.Name != want.Schema.Name {
+		t.Fatalf("%s: schema name %q vs %q", label, got.Schema.Name, want.Schema.Name)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: cardinality %d vs %d\ngot=%s\nwant=%s", label, got.Len(), want.Len(), got, want)
+	}
+	for i := range want.Tuples {
+		g, w := &got.Tuples[i], &want.Tuples[i]
+		switch {
+		case !g.Fact.Equal(w.Fact):
+			t.Fatalf("%s: tuple %d fact %s vs %s", label, i, g.Fact, w.Fact)
+		case g.T != w.T:
+			t.Fatalf("%s: tuple %d (%s) interval %s vs %s", label, i, g.Fact, g.T, w.T)
+		case g.Lineage.String() != w.Lineage.String():
+			t.Fatalf("%s: tuple %d (%s %s) lineage %s vs %s", label, i, g.Fact, g.T, g.Lineage, w.Lineage)
+		case g.Prob != w.Prob:
+			t.Fatalf("%s: tuple %d (%s %s) prob %v vs %v", label, i, g.Fact, g.T, g.Prob, w.Prob)
+		}
+	}
+}
+
+// TestParallelMatchesSequential cross-validates the partitioned engine
+// against sequential core.Apply on randomized relation pairs: ≥ 100 pairs
+// per operation, bit-identical output required.
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e := engine.New(engine.Config{Workers: 4, MinPartitionSize: 1})
+	for trial := 0; trial < 150; trial++ {
+		r, s := randomRelations(rng, 60, 1+rng.Intn(12))
+		for _, op := range allOps {
+			want, err := core.Apply(op, r, s, core.Options{})
+			if err != nil {
+				t.Fatalf("trial %d %v: sequential: %v", trial, op, err)
+			}
+			got, err := e.Apply(op, r, s, core.Options{})
+			if err != nil {
+				t.Fatalf("trial %d %v: parallel: %v", trial, op, err)
+			}
+			mustIdentical(t, fmt.Sprintf("trial %d %v", trial, op), got, want)
+		}
+	}
+}
+
+// TestDeterminismAcrossWorkerCounts asserts identical output across
+// Workers = 1, 2, 8 and across repeated runs with the same configuration.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	r, s := randomRelations(rng, 400, 23)
+	for _, op := range allOps {
+		want, err := core.Apply(op, r, s, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			e := engine.New(engine.Config{Workers: workers, MinPartitionSize: 1})
+			for run := 0; run < 3; run++ {
+				got, err := e.Apply(op, r, s, core.Options{})
+				if err != nil {
+					t.Fatalf("%v workers=%d run=%d: %v", op, workers, run, err)
+				}
+				mustIdentical(t, fmt.Sprintf("%v workers=%d run=%d", op, workers, run), got, want)
+			}
+		}
+	}
+}
+
+// TestApplyOptionsRespected checks LazyProb and Validate behave as in the
+// sequential drivers, and that AssumeSorted inputs are handled.
+func TestApplyOptionsRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	r, s := randomRelations(rng, 200, 9)
+	e := engine.New(engine.Config{Workers: 4, MinPartitionSize: 1})
+
+	lazy, err := e.Apply(core.OpUnion, r, s, core.Options{LazyProb: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lazy.Tuples {
+		if lazy.Tuples[i].Prob != 0 {
+			t.Fatalf("LazyProb: tuple %d has prob %v, want 0", i, lazy.Tuples[i].Prob)
+		}
+	}
+
+	if _, err := e.Apply(core.OpUnion, r, s, core.Options{Validate: true}); err != nil {
+		t.Fatalf("Validate over valid inputs: %v", err)
+	}
+	bad := r.Clone()
+	bad.AddBase(bad.Tuples[0].Fact, "dup", bad.Tuples[0].T.Ts, bad.Tuples[0].T.Te, 0.5)
+	if _, err := e.Apply(core.OpUnion, bad, s, core.Options{Validate: true}); err == nil {
+		t.Fatal("Validate over duplicated input: want error, got nil")
+	}
+
+	rs, ss := r.Clone(), s.Clone()
+	rs.Sort()
+	ss.Sort()
+	want, err := core.Apply(core.OpExcept, rs, ss, core.Options{AssumeSorted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Apply(core.OpExcept, rs, ss, core.Options{AssumeSorted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIdentical(t, "AssumeSorted", got, want)
+}
+
+// TestEmptyInputs covers the degenerate shapes partitioning must not
+// mishandle.
+func TestEmptyInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	r, _ := randomRelations(rng, 50, 5)
+	empty := relation.New(relation.NewSchema("e", "F"))
+	e := engine.New(engine.Config{Workers: 4, MinPartitionSize: 1})
+	for _, op := range allOps {
+		for _, pair := range [][2]*relation.Relation{{r, empty}, {empty, r}, {empty, empty}} {
+			want, err := core.Apply(op, pair[0], pair[1], core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.Apply(op, pair[0], pair[1], core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustIdentical(t, fmt.Sprintf("%v empty case", op), got, want)
+		}
+	}
+}
+
+// TestEvalMatchesSequentialEvaluate cross-validates the concurrent
+// query-tree executor against the sequential evaluator, including
+// selections and repeating queries.
+func TestEvalMatchesSequentialEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	db := map[string]*relation.Relation{}
+	for _, name := range []string{"a", "b", "c", "d"} {
+		rel, _ := randomRelations(rng, 120, 8)
+		rel.Schema.Name = name
+		db[name] = rel
+	}
+	queries := []string{
+		"a | b",
+		"(a | b) & c",
+		"((a | b) & c) - d",
+		"(a - b) | (c - d)",
+		"(a & b) | (a & c)", // repeating
+		"sigma[F='f03'](a) | b",
+	}
+	e := engine.New(engine.Config{Workers: 4, MinPartitionSize: 1})
+	for _, src := range queries {
+		q := query.MustParse(src)
+		want, err := query.Evaluate(q, db)
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", src, err)
+		}
+		got, err := e.Eval(q, db)
+		if err != nil {
+			t.Fatalf("%s: parallel: %v", src, err)
+		}
+		if d := relation.Diff(got, want); d != "" {
+			t.Fatalf("%s: parallel vs sequential: %s", src, d)
+		}
+	}
+
+	if _, err := e.Eval(query.MustParse("a | nosuch"), db); err == nil {
+		t.Fatal("unknown relation: want error, got nil")
+	}
+}
+
+// TestQueryEvaluateRoutesThroughEngine checks the query-package hook: with
+// the default parallelism raised above one, query.Evaluate must route
+// through the registered engine and still produce the sequential result.
+func TestQueryEvaluateRoutesThroughEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	db := map[string]*relation.Relation{}
+	for _, name := range []string{"a", "b", "c"} {
+		rel, _ := randomRelations(rng, 150, 10)
+		rel.Schema.Name = name
+		db[name] = rel
+	}
+	q := query.MustParse("(a | b) - c")
+	want, err := query.Evaluate(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	query.SetDefaultParallelism(4)
+	defer query.SetDefaultParallelism(1)
+	if got := query.DefaultParallelism(); got != 4 {
+		t.Fatalf("DefaultParallelism = %d, want 4", got)
+	}
+	got, err := query.Evaluate(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := relation.Diff(got, want); d != "" {
+		t.Fatalf("routed vs sequential: %s", d)
+	}
+}

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/query"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// init registers the engine as package query's parallel evaluator, so
+// query.Evaluate routes through it whenever the process-wide default
+// parallelism (query.SetDefaultParallelism) is above one. The indirection
+// avoids the query→engine→query import cycle.
+func init() {
+	query.RegisterParallelEvaluator(func(n query.Node, db map[string]*relation.Relation, workers int) (*relation.Relation, error) {
+		return New(Config{Workers: workers}).Eval(n, db)
+	})
+}
+
+// Eval evaluates a parsed TP set query over named relations. Unlike the
+// sequential post-order walk of query.EvaluateWith, independent subtrees
+// of every set operation are scheduled concurrently, and each set
+// operation itself runs partition-parallel through Apply. All concurrent
+// work shares the engine's one worker pool, so a bushy tree cannot
+// oversubscribe the configured budget. The result is identical to
+// query.Evaluate — same tuples, lineage and probabilities.
+func (e *Engine) Eval(n query.Node, db map[string]*relation.Relation) (*relation.Relation, error) {
+	switch q := n.(type) {
+	case *query.Rel:
+		r, ok := db[q.Name]
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown relation %q (have %s)",
+				q.Name, strings.Join(query.DBKeys(db), ", "))
+		}
+		return r, nil
+	case *query.Select:
+		in, err := e.Eval(q.Input, db)
+		if err != nil {
+			return nil, err
+		}
+		return query.ApplySelect(q, in)
+	case *query.SetOp:
+		// Evaluate the right subtree on a fresh goroutine while the left
+		// runs on this one; shard tasks from both sides interleave on the
+		// shared pool.
+		var (
+			right    *relation.Relation
+			rightErr error
+			wg       sync.WaitGroup
+		)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			right, rightErr = e.Eval(q.Right, db)
+		}()
+		left, leftErr := e.Eval(q.Left, db)
+		wg.Wait()
+		if leftErr != nil {
+			return nil, leftErr
+		}
+		if rightErr != nil {
+			return nil, rightErr
+		}
+		return e.Apply(q.Op, left, right, core.Options{})
+	}
+	return nil, fmt.Errorf("engine: unknown node type %T", n)
+}
+
+// Eval is a convenience wrapper constructing a one-shot engine.
+func Eval(n query.Node, db map[string]*relation.Relation, cfg Config) (*relation.Relation, error) {
+	return New(cfg).Eval(n, db)
+}

@@ -133,28 +133,41 @@ func Evaluate(n Node, db map[string]*relation.Relation) (*relation.Relation, err
 	return EvaluateWith(n, db, AlgoLAWA)
 }
 
-// EvaluateWith executes the query with the chosen algorithm.
+// EvaluateWith executes the query with the chosen algorithm. When a
+// parallel evaluator has been registered (see RegisterParallelEvaluator)
+// and the package-level default parallelism is above one, LAWA queries are
+// routed through the partition-parallel execution engine instead of the
+// strictly sequential post-order walk below.
 func EvaluateWith(n Node, db map[string]*relation.Relation, algo Algorithm) (*relation.Relation, error) {
+	if algo == AlgoLAWA {
+		if eval, workers := parallelEvaluator(); eval != nil && workers > 1 {
+			return eval(n, db, workers)
+		}
+	}
+	return evaluateSequential(n, db, algo)
+}
+
+func evaluateSequential(n Node, db map[string]*relation.Relation, algo Algorithm) (*relation.Relation, error) {
 	switch q := n.(type) {
 	case *Rel:
 		r, ok := db[q.Name]
 		if !ok {
 			return nil, fmt.Errorf("query: unknown relation %q (have %s)",
-				q.Name, strings.Join(mapKeys(db), ", "))
+				q.Name, strings.Join(DBKeys(db), ", "))
 		}
 		return r, nil
 	case *Select:
-		in, err := EvaluateWith(q.Input, db, algo)
+		in, err := evaluateSequential(q.Input, db, algo)
 		if err != nil {
 			return nil, err
 		}
 		return applySelect(q, in)
 	case *SetOp:
-		l, err := EvaluateWith(q.Left, db, algo)
+		l, err := evaluateSequential(q.Left, db, algo)
 		if err != nil {
 			return nil, err
 		}
-		r, err := EvaluateWith(q.Right, db, algo)
+		r, err := evaluateSequential(q.Right, db, algo)
 		if err != nil {
 			return nil, err
 		}
@@ -166,6 +179,13 @@ func EvaluateWith(n Node, db map[string]*relation.Relation, algo Algorithm) (*re
 		}
 	}
 	return nil, fmt.Errorf("query: unknown node type %T", n)
+}
+
+// ApplySelect applies a selection node to a materialized relation. It is
+// exported for the partition-parallel execution engine, which walks query
+// trees itself but reuses this package's selection semantics.
+func ApplySelect(q *Select, in *relation.Relation) (*relation.Relation, error) {
+	return applySelect(q, in)
 }
 
 func applySelect(q *Select, in *relation.Relation) (*relation.Relation, error) {
@@ -190,7 +210,10 @@ func applySelect(q *Select, in *relation.Relation) (*relation.Relation, error) {
 	return out, nil
 }
 
-func mapKeys(db map[string]*relation.Relation) []string {
+// DBKeys returns the sorted relation names of a query database; shared
+// with the engine's tree executor so "unknown relation" errors render the
+// available names identically everywhere.
+func DBKeys(db map[string]*relation.Relation) []string {
 	ks := make([]string, 0, len(db))
 	for k := range db {
 		ks = append(ks, k)

@@ -1,0 +1,53 @@
+package query
+
+import (
+	"sync"
+
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// ParallelEvaluator evaluates a whole query tree with a given worker
+// budget. The partition-parallel engine (internal/engine) registers one at
+// init time; the indirection exists because engine imports query and a
+// direct call here would close an import cycle.
+type ParallelEvaluator func(n Node, db map[string]*relation.Relation, workers int) (*relation.Relation, error)
+
+var (
+	parallelMu   sync.RWMutex
+	parallelEval ParallelEvaluator
+	parallelism  = 1
+)
+
+// RegisterParallelEvaluator installs the engine entry point used by
+// Evaluate/EvaluateWith when the default parallelism is above one.
+func RegisterParallelEvaluator(f ParallelEvaluator) {
+	parallelMu.Lock()
+	defer parallelMu.Unlock()
+	parallelEval = f
+}
+
+// SetDefaultParallelism sets the worker budget Evaluate uses for LAWA
+// queries. Values below one mean sequential evaluation. The setting is
+// process-wide; per-call control is available through the engine API and
+// tpset.EvalParallel.
+func SetDefaultParallelism(workers int) {
+	parallelMu.Lock()
+	defer parallelMu.Unlock()
+	if workers < 1 {
+		workers = 1
+	}
+	parallelism = workers
+}
+
+// DefaultParallelism returns the current process-wide worker budget.
+func DefaultParallelism() int {
+	parallelMu.RLock()
+	defer parallelMu.RUnlock()
+	return parallelism
+}
+
+func parallelEvaluator() (ParallelEvaluator, int) {
+	parallelMu.RLock()
+	defer parallelMu.RUnlock()
+	return parallelEval, parallelism
+}

@@ -166,18 +166,24 @@ func (r *Relation) Clone() *Relation {
 	return out
 }
 
+// Less is the canonical tuple order (fact key, Ts, Te) used by Sort and by
+// the engine's shard-output merge; sharing one comparator keeps the merged
+// parallel output bit-identical to the sequentially sorted order.
+func Less(a, b *Tuple) bool {
+	if ak, bk := a.Key(), b.Key(); ak != bk {
+		return ak < bk
+	}
+	if a.T.Ts != b.T.Ts {
+		return a.T.Ts < b.T.Ts
+	}
+	return a.T.Te < b.T.Te
+}
+
 // Sort orders tuples by (fact key, Ts, Te). This is the sort step of Fig. 5
 // in the paper and a precondition of the window advancer.
 func (r *Relation) Sort() {
 	sort.Slice(r.Tuples, func(i, j int) bool {
-		a, b := &r.Tuples[i], &r.Tuples[j]
-		if ak, bk := a.Key(), b.Key(); ak != bk {
-			return ak < bk
-		}
-		if a.T.Ts != b.T.Ts {
-			return a.T.Ts < b.T.Ts
-		}
-		return a.T.Te < b.T.Te
+		return Less(&r.Tuples[i], &r.Tuples[j])
 	})
 }
 
@@ -199,7 +205,11 @@ func (r *Relation) ValidateDuplicateFree() error {
 	byFact := make(map[string][]interval.Interval, len(r.Tuples))
 	for i := range r.Tuples {
 		t := &r.Tuples[i]
-		byFact[t.Key()] = append(byFact[t.Key()], t.T)
+		// Recompute the key rather than going through Tuple.Key: its lazy
+		// caching write would race when concurrent operations validate a
+		// shared relation.
+		k := t.Fact.Key()
+		byFact[k] = append(byFact[k], t.T)
 	}
 	for key, ivs := range byFact {
 		sort.Slice(ivs, func(i, j int) bool { return ivs[i].Ts < ivs[j].Ts })

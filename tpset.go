@@ -46,6 +46,7 @@ import (
 
 	"github.com/tpset/tpset/internal/core"
 	"github.com/tpset/tpset/internal/csvio"
+	"github.com/tpset/tpset/internal/engine"
 	"github.com/tpset/tpset/internal/interval"
 	"github.com/tpset/tpset/internal/lineage"
 	"github.com/tpset/tpset/internal/query"
@@ -114,7 +115,14 @@ func Intersect(r, s *Relation) (*Relation, error) { return core.Intersect(r, s, 
 func Except(r, s *Relation) (*Relation, error) { return core.Except(r, s, core.Options{}) }
 
 // Apply dispatches to Union, Intersect or Except with explicit options.
+// When opts.Parallelism is above one, the operation runs on the
+// partition-parallel execution engine (hash-partitioned by fact, swept
+// concurrently, merged back into canonical order); the result is
+// tuple-for-tuple identical to the sequential path.
 func Apply(op Op, r, s *Relation, opts Options) (*Relation, error) {
+	if opts.Parallelism > 1 {
+		return engine.Apply(op, r, s, opts)
+	}
 	return core.Apply(op, r, s, opts)
 }
 
@@ -144,8 +152,24 @@ func ParseQuery(input string) (Query, error) { return query.Parse(input) }
 // MustParseQuery is ParseQuery panicking on error.
 func MustParseQuery(input string) Query { return query.MustParse(input) }
 
-// Eval evaluates a parsed query over named relations with LAWA.
+// Eval evaluates a parsed query over named relations with LAWA. When a
+// process-wide parallelism above one has been set with SetParallelism,
+// evaluation routes through the partition-parallel engine.
 func Eval(q Query, db map[string]*Relation) (*Relation, error) { return query.Evaluate(q, db) }
+
+// EvalParallel evaluates a parsed query on the partition-parallel
+// execution engine with the given worker budget: independent subtrees run
+// concurrently and every set operation is hash-partitioned by fact across
+// a bounded worker pool. workers below one selects runtime.GOMAXPROCS.
+// The result is identical to Eval.
+func EvalParallel(q Query, db map[string]*Relation, workers int) (*Relation, error) {
+	return engine.Eval(q, db, engine.Config{Workers: workers})
+}
+
+// SetParallelism sets the process-wide worker budget used by Eval and
+// EvalOptimized; values above one route query evaluation through the
+// partition-parallel engine. 1 restores strictly sequential evaluation.
+func SetParallelism(workers int) { query.SetDefaultParallelism(workers) }
 
 // IsNonRepeating reports whether every relation occurs at most once in q;
 // such queries have PTIME data complexity (Theorem 1 / Corollary 1).
