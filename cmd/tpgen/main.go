@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tpgen -kind synthetic -n 100000 -facts 1 -maxlen 3 -maxgap 3 -o r.csv
+//	tpgen -kind synthetic -name r -n 100000 -facts 1 -maxlen 3 -maxgap 3 -o r.csv
 //	tpgen -kind meteo  -n 100000 -o meteo.csv
 //	tpgen -kind webkit -n 100000 -o webkit.csv
 //	tpgen -kind shifted -in meteo.csv -o meteo_shifted.csv
@@ -26,6 +26,7 @@ import (
 func main() {
 	var (
 		kind   = flag.String("kind", "synthetic", "synthetic | meteo | webkit | shifted")
+		name   = flag.String("name", "r", "relation name and base-variable prefix (synthetic); distinct names keep variable ids globally unique across generated relations")
 		n      = flag.Int("n", 100000, "number of tuples")
 		facts  = flag.Int("facts", 1, "number of distinct facts (synthetic)")
 		maxLen = flag.Int64("maxlen", 3, "max interval length (synthetic)")
@@ -44,7 +45,7 @@ func main() {
 	switch *kind {
 	case "synthetic":
 		r = datagen.Synthetic(datagen.SyntheticConfig{
-			Name: "r", NumTuples: *n, NumFacts: *facts,
+			Name: *name, NumTuples: *n, NumFacts: *facts,
 			MaxLen: *maxLen, MaxGap: *maxGap, Seed: *seed,
 		})
 	case "meteo":

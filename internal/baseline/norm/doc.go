@@ -1,0 +1,18 @@
+// Package norm re-implements the timestamp-adjustment baseline of Dignös
+// et al. (SIGMOD 2012, TODS 2016): temporal set operations via the
+// Normalization operator N(r, s), extended with the TP reduction rules the
+// paper's authors added for their comparison (§VII-A).
+//
+// N(r, s) replicates every tuple of r, splitting its interval at the start
+// and end points of every same-fact tuple of s it overlaps, so that after
+// normalizing both inputs against each other all same-fact intervals are
+// either equal or disjoint. The faithful implementation of the splitting
+// step is an outer join with inequality (overlap) predicates, realized as
+// a nested loop within each fact group — this is the quadratic behaviour
+// the paper measures (NORM degrades drastically when few facts dominate).
+// After normalization the set operations reduce to hash joins on
+// (fact, interval) plus the lineage-concatenation functions.
+//
+// Supports ∪Tp, ∩Tp and −Tp (Table II). Paper map: §VI ("Adjustment of
+// Timestamps"), Table II row NORM, Figs. 7–11. See docs/PAPER_MAP.md.
+package norm

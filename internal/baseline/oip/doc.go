@@ -1,0 +1,22 @@
+// Package oip re-implements the Overlap Interval Partition Join baseline
+// (Dignös, Böhlen, Gamper, SIGMOD 2014) used by the paper for TP set
+// intersection (§VII-A, Table II).
+//
+// OIP splits the time domain into k granules of equal size. Adjacent
+// granules form partitions identified by (first granule, last granule),
+// and each tuple is assigned to the smallest partition that fully covers
+// its interval. To join, the overlapping partition pairs of the two
+// relations are identified (fast — there are O(k²) partitions), and a
+// nested loop joins the tuples of each overlapping pair (slow — this is
+// where high overlap factors hurt, as the paper's robustness experiment
+// shows).
+//
+// OIP does not natively support a non-temporal filter. Following §VII-A,
+// the extension for TP set intersection splits each input relation into
+// fact groups, runs OIP per group, and merges the results; with many
+// distinct facts the per-group partitioning overhead dominates (Fig. 9b).
+//
+// Only ∩Tp is supported (Table II). Paper map: Table II row OIP, Fig. 8
+// (LAWA vs OIP at scale), Figs. 9a/9b (robustness). See
+// docs/PAPER_MAP.md.
+package oip

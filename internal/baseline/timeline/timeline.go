@@ -1,18 +1,3 @@
-// Package timeline re-implements the Timeline Index / Timeline Join
-// baseline (Kaufmann et al., SIGMOD 2013) used by the paper for TP set
-// intersection (§VII-A, Table II).
-//
-// A Timeline Index of a relation maps each start or end time point to the
-// list of tuple ids starting or ending there. Timeline Join merge-joins the
-// two indexes, maintaining the set of active tuple ids per relation, and
-// emits (rid, sid) pairs when a tuple of one relation starts while tuples of
-// the other are active. As the paper observes, the join produces pairs
-// *before* the non-temporal (fact equality) condition can be applied, and
-// the original tuples must then be fetched both for filtering and for
-// output formation — the two lookups that dominate its runtime when many
-// tuples coincide at a time point.
-//
-// Only ∩Tp is supported (Table II).
 package timeline
 
 import (

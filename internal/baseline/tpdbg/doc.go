@@ -1,0 +1,27 @@
+// Package tpdbg re-implements the query-processing strategy of the
+// temporal-probabilistic database TPDB (Dylla, Miliaraki, Theobald,
+// PVLDB 2013) as used for the paper's comparison (§VII-A).
+//
+// TPDB evaluates Datalog deduction rules with temporal predicates in two
+// stages:
+//
+//  1. Grounding — for TP set intersection, one deduction rule per Allen
+//     overlap relationship is translated to an inner join with inequality
+//     conditions on the interval start/end points; each join result
+//     carries the conjunction of the input lineages and the overlap
+//     subinterval. For TP set union, a single rule corresponds to a
+//     conventional union (concatenation), which is why TPDB's union is
+//     dramatically cheaper than its intersection.
+//  2. Deduplication — duplicates produced by grounding (same fact,
+//     overlapping intervals) are removed by adjusting intervals: a sweep
+//     splits overlapping duplicates into aligned fragments and disjuncts
+//     their lineages.
+//
+// TP set difference is NOT supported: grounding cannot produce output
+// subintervals that are present in only one input relation (Table II).
+//
+// The grounding joins are nested loops over fact groups with inequality
+// predicates — the quadratic behaviour the paper measures. Paper map:
+// §VI ("Grounding of TP Deduction Rules"), Table II row TPDB, Figs. 7,
+// 10, 11. See docs/PAPER_MAP.md.
+package tpdbg

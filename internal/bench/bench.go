@@ -1,14 +1,3 @@
-// Package bench is the experiment harness that regenerates every table and
-// figure of the paper's evaluation (§VII). It provides the approach
-// registry (Table II), timed size sweeps with per-approach time budgets
-// (the quadratic baselines are cut off rather than left to run for hours,
-// mirroring the paper's practice of dropping approaches that are orders of
-// magnitude slower), and plain-text/CSV series printers.
-//
-// Scaling: the paper's largest runs (50M tuples on a 64 GB Xeon box) are
-// parameterized down by a scale factor; EXPERIMENTS.md records the scale
-// used for the committed results. Shapes — who wins, by what factor, where
-// crossovers fall — are preserved; absolute milliseconds are not claimed.
 package bench
 
 import (

@@ -14,8 +14,9 @@ import (
 // Config steers an experiment run.
 type Config struct {
 	// Scale multiplies every dataset size of the paper. 1.0 reruns the
-	// paper's sizes (hours for the quadratic baselines); the committed
-	// EXPERIMENTS.md uses the default of cmd/tpbench.
+	// paper's sizes (hours for the quadratic baselines); cmd/tpbench's
+	// default is a quick scaled-down run, and every Result records the
+	// scale it ran at.
 	Scale float64
 	// Budget cuts an approach off once a single run exceeds it.
 	Budget time.Duration
@@ -64,6 +65,7 @@ func Experiments() []Experiment {
 		{"fig11c", "Webkit-like 20K–200K: set union", fig1011(false, core.OpUnion)},
 		{"par-size", "Partition-parallel engine vs sequential LAWA: size sweep (∩Tp)", ParSize},
 		{"par-workers", "Partition-parallel engine: worker-count sweep at fixed size (∩Tp)", ParWorkers},
+		{"serve-cache", "Query service: cold evaluation vs result-cache hit (∩Tp)", ServeCache},
 	}
 }
 

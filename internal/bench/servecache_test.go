@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestServeCacheTiny runs a cut-down serve-cache experiment end to end:
+// the cached series must observe the same output cardinality as the cold
+// series at every point (the cache returns the very result the cold run
+// computed), and ServeCache itself asserts hit/miss expectations.
+func TestServeCacheTiny(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Workers = 2
+
+	res := ServeCache(cfg)
+	if res.Name != "serve-cache" || len(res.Series) != 2 {
+		t.Fatalf("serve-cache shape: %q with %d series", res.Name, len(res.Series))
+	}
+	cold, cached := res.Series[0], res.Series[1]
+	if len(cold.Cells) != len(serveCacheSizes) || len(cached.Cells) != len(serveCacheSizes) {
+		t.Fatalf("rows: cold %d, cached %d, want %d", len(cold.Cells), len(cached.Cells), len(serveCacheSizes))
+	}
+	for i := range cold.Cells {
+		if cold.Cells[i].Output != cached.Cells[i].Output {
+			t.Errorf("row %d: cached output %d, cold %d", i, cached.Cells[i].Output, cold.Cells[i].Output)
+		}
+		if cold.Cells[i].Output == 0 {
+			t.Errorf("row %d: empty result", i)
+		}
+	}
+
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "serve-cache") {
+		t.Errorf("print output lacks experiment name:\n%s", buf.String())
+	}
+}

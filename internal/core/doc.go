@@ -1,0 +1,33 @@
+// Package core implements the paper's primary contribution (§IV): the
+// lineage-aware temporal window, the lineage-aware window advancer (LAWA,
+// Algorithm 1) and the three temporal-probabilistic set operations built
+// on it (Algorithms 2–4: Intersect, Union, Except).
+//
+// The implementation follows the four-step process of Fig. 5:
+//
+//	sort → LAWA → λ-filter → λ-function
+//
+// Input relations are sorted by (fact, Ts); the advancer sweeps their
+// start and end points producing candidate windows; each window is
+// filtered and its output lineage finalized immediately, with no
+// intermediate buffers. The overall complexity is
+// O(|r| log |r| + |s| log |s|) time and O(1) additional space, against the
+// quadratic behaviour of the timestamp-adjustment and grounding baselines.
+//
+// Invariants:
+//
+//   - Inputs must be duplicate-free (Options.Validate checks); outputs
+//     are duplicate-free and change-preserved by construction — windows
+//     are maximal, so no post-coalescing is ever needed.
+//   - Output tuples appear in canonical (fact, Ts, Te) order, the same
+//     order relation.Sort establishes; the parallel engine relies on this
+//     to merge shard outputs into a bit-identical result.
+//   - With Options.AssumeSorted the drivers run the advancer directly
+//     over the caller's slices; the caller then guarantees sortedness AND
+//     exclusive ownership (the sweep's lazy key caching would race on
+//     shared relations — see internal/engine for the cloning rules).
+//
+// Paper map: Def. 3 (the three TP set operations), Alg. 1 (Advancer),
+// Algs. 2–4 (drivers), Fig. 5 (pipeline), Example 3 (window stream). See
+// docs/PAPER_MAP.md.
+package core

@@ -1,18 +1,3 @@
-// Package core implements the paper's primary contribution: the
-// lineage-aware temporal window, the lineage-aware window advancer (LAWA,
-// Algorithm 1) and the three temporal-probabilistic set operations built on
-// it (Algorithms 2–4: Intersect, Union, Except).
-//
-// The implementation follows the four-step process of Fig. 5:
-//
-//	sort → LAWA → λ-filter → λ-function
-//
-// Input relations are sorted by (fact, Ts); the advancer sweeps their start
-// and end points producing candidate windows; each window is filtered and
-// its output lineage finalized immediately, with no intermediate buffers.
-// The overall complexity is O(|r| log |r| + |s| log |s|) time and O(1)
-// additional space, against the quadratic behaviour of the timestamp-
-// adjustment and grounding baselines.
 package core
 
 import (

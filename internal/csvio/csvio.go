@@ -1,16 +1,3 @@
-// Package csvio loads and stores TP relations as CSV files.
-//
-// The on-disk layout has one row per base tuple:
-//
-//	fact_1,...,fact_m,id,ts,te,p
-//
-// with a header row naming the conventional attributes followed by the
-// fixed columns "lineage", "ts", "te", "p". Only base relations round-trip:
-// derived lineage is written in its rendered form and read back as an
-// opaque fresh variable carrying the tuple's probability, which preserves
-// facts, intervals and marginals but not the original formula structure
-// (documented limitation; serialize formulas with the lineage renderer when
-// structure matters).
 package csvio
 
 import (
@@ -20,6 +7,7 @@ import (
 	"os"
 	"strconv"
 
+	"github.com/tpset/tpset/internal/lineage"
 	"github.com/tpset/tpset/internal/relation"
 )
 
@@ -61,7 +49,12 @@ func WriteFile(path string, r *relation.Relation) error {
 
 // Read loads a relation named name from CSV. Every row becomes a base tuple
 // whose lineage variable is the row's lineage column (assumed to be a
-// unique identifier within the file).
+// unique identifier within the file). The lineage column must be non-empty
+// and syntactically valid lineage (a bare identifier or a rendered
+// formula; see lineage.Parse) — a malformed formula is rejected rather
+// than silently becoming an opaque variable. The loaded relation is
+// checked for the model's duplicate-freeness invariant: two rows with the
+// same fact over overlapping intervals are an error.
 func Read(rd io.Reader, name string) (*relation.Relation, error) {
 	cr := csv.NewReader(rd)
 	cr.FieldsPerRecord = -1
@@ -103,7 +96,18 @@ func Read(rd io.Reader, name string) (*relation.Relation, error) {
 		if p <= 0 || p > 1 {
 			return nil, fmt.Errorf("csvio: line %d: probability %v outside (0,1]", line, p)
 		}
+		// The lineage column is kept opaque (see the package note) but must
+		// at least BE lineage: parsing catches truncated or mangled
+		// formulas that would otherwise round-trip as garbage identifiers.
+		if expr, err := lineage.Parse(row[nf], func(string) (float64, error) { return p, nil }); err != nil {
+			return nil, fmt.Errorf("csvio: line %d: unparsable lineage %q: %w", line, row[nf], err)
+		} else if expr == nil {
+			return nil, fmt.Errorf("csvio: line %d: empty lineage column", line)
+		}
 		rel.AddBase(relation.Fact(row[:nf]), row[nf], ts, te, p)
+	}
+	if err := rel.ValidateDuplicateFree(); err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
 	}
 	return rel, nil
 }

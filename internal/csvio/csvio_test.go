@@ -63,6 +63,14 @@ func TestReadErrors(t *testing.T) {
 		{"empty interval", "F,lineage,ts,te,p\nx,r1,3,3,0.5\n", "interval"},
 		{"p out of range", "F,lineage,ts,te,p\nx,r1,1,3,1.5\n", "probability"},
 		{"column mismatch", "F,lineage,ts,te,p\nx,r1,1,3\n", ""},
+		{"negative interval", "F,lineage,ts,te,p\nx,r1,5,3,0.5\n", "interval"},
+		{"zero probability", "F,lineage,ts,te,p\nx,r1,1,3,0\n", "probability"},
+		{"empty lineage", "F,lineage,ts,te,p\nx,,1,3,0.5\n", "empty lineage"},
+		{"null lineage", "F,lineage,ts,te,p\nx,null,1,3,0.5\n", "empty lineage"},
+		{"unparsable lineage", "F,lineage,ts,te,p\nx,r1∧,1,3,0.5\n", "unparsable lineage"},
+		{"unparsable lineage parens", "F,lineage,ts,te,p\nx,(r1,1,3,0.5\n", "unparsable lineage"},
+		{"duplicate tuples", "F,lineage,ts,te,p\nx,r1,1,5,0.5\nx,r2,3,8,0.5\n", "duplicate fact"},
+		{"duplicate tuples same row", "F,lineage,ts,te,p\nx,r1,1,5,0.5\nx,r2,1,5,0.5\n", "duplicate fact"},
 	}
 	for _, tc := range cases {
 		_, err := Read(strings.NewReader(tc.data), "r")
@@ -73,6 +81,22 @@ func TestReadErrors(t *testing.T) {
 		if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
 			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
 		}
+	}
+}
+
+func TestReadAcceptsRenderedFormulasAndAdjacency(t *testing.T) {
+	// A rendered derived formula stays a legal (opaque) lineage column,
+	// and temporally adjacent same-fact rows are NOT duplicates.
+	data := "F,lineage,ts,te,p\nx,c1∧¬(a1∨b1),1,4,0.3\nx,c1,4,9,0.6\n"
+	r, err := Read(strings.NewReader(data), "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("got %d tuples", r.Len())
+	}
+	if err := r.ValidateDuplicateFree(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,25 @@
+// Package csvio loads and stores TP relations as CSV files.
+//
+// The on-disk layout has one row per base tuple:
+//
+//	fact_1,...,fact_m,id,ts,te,p
+//
+// with a header row naming the conventional attributes followed by the
+// fixed columns "lineage", "ts", "te", "p". Only base relations
+// round-trip: derived lineage is written in its rendered form and read
+// back as an opaque fresh variable carrying the tuple's probability, which
+// preserves facts, intervals and marginals but not the original formula
+// structure (documented limitation; the JSON wire codec of the query
+// service — internal/server, tpset.MarshalRelationJSON — round-trips full
+// formula structure when it matters).
+//
+// Read enforces the model invariants on data of unknown provenance: every
+// interval must be non-empty [ts, te), probabilities must lie in (0, 1],
+// the lineage column must be non-empty syntactically valid lineage, and
+// the loaded relation must be duplicate-free (Def. 1) — two rows with the
+// same fact over overlapping intervals are rejected.
+//
+// Paper map: the persistence layer feeding the §VII experiments and the
+// tpquery/tpgen/tpserve CLIs; no direct counterpart in the paper. See
+// docs/PAPER_MAP.md.
+package csvio

@@ -1,0 +1,24 @@
+// Package datagen generates the workloads of the paper's experimental
+// evaluation (§VII):
+//
+//   - the synthetic datasets of §VII-B, parameterized by tuple count, fact
+//     count, maximal interval length and maximal time distance between
+//     consecutive same-fact tuples — the knobs of Table III that control
+//     the overlapping factor;
+//   - synthetic stand-ins for the two real-world datasets of §VII-C
+//     (Table IV): a Meteo-Swiss-like relation (few facts = stations, long
+//     merged-measurement intervals) and a Webkit-like relation (very many
+//     facts = files, bursty event points with many tuples starting or
+//     ending at the same instant);
+//   - the paper's method for deriving a second relation from a real
+//     dataset: shift the intervals, keeping their lengths, with start
+//     points following the original distribution (Shifted).
+//
+// Invariant: all generators are deterministic given their seed and produce
+// duplicate-free relations with unique base-tuple identifiers (prefixed by
+// the relation name — give the relations of one database distinct names,
+// or their lineage variables will alias).
+//
+// Paper map: §VII-B (synthetic + Table III), §VII-C (Table IV shapes,
+// shifted derivation). See docs/PAPER_MAP.md.
+package datagen

@@ -1,0 +1,37 @@
+// Package engine is the partition-parallel, pipelined execution engine for
+// the TP set operations — an extension beyond the paper, exploiting the
+// key property of the LAWA sweep (Algorithm 1): the window advancer for a
+// fact group never inspects another fact's tuples, so ∪Tp, ∩Tp and −Tp
+// decompose into independent per-fact subproblems.
+//
+// The engine runs the four-step pipeline of Fig. 5 in partitioned form:
+//
+//	hash-partition by fact → per-shard sort → per-shard LAWA+λ → merge
+//
+// Both inputs are hash-partitioned by fact key into K shards (every fact
+// group lands wholly in one shard, so per-shard LAWA output is identical
+// to the sequential computation restricted to those facts). Shards are
+// sorted and swept concurrently on a bounded worker pool, and the sorted
+// shard outputs are k-way merged back into the canonical (fact, Ts) order
+// — the exact order the sequential drivers produce. Results are therefore
+// tuple-for-tuple identical to core.Apply: same facts, same intervals,
+// same lineage trees, same probabilities.
+//
+// Beyond single operations, Eval/EvalWith schedule independent subtrees of
+// a parsed query.Node concurrently, replacing the strictly sequential
+// post-order evaluation of package query; the engine registers itself as
+// query's parallel evaluator at init time, so query.Evaluate routes
+// through it whenever query.SetDefaultParallelism is above one. The query
+// service (internal/server) drives EvalWith directly with per-request
+// options.
+//
+// Concurrency invariants:
+//
+//   - Input relations are strictly read-only; partitioning recomputes
+//     fact keys rather than going through the lazily-caching Tuple.Key.
+//   - An Engine is safe for concurrent use: all shard tasks and
+//     sequential fallbacks of all concurrent operations share one bounded
+//     semaphore, so a bushy tree cannot oversubscribe Config.Workers.
+//
+// See DESIGN.md ("The partition-parallel engine") and docs/PAPER_MAP.md.
+package engine

@@ -1,27 +1,3 @@
-// Package engine is the partition-parallel, pipelined execution engine for
-// the TP set operations. It exploits the key property of the LAWA sweep
-// (Algorithm 1): the window advancer for a fact group never inspects
-// another fact's tuples, so ∪Tp, ∩Tp and −Tp decompose into independent
-// per-fact subproblems.
-//
-// The engine runs the four-step pipeline of Fig. 5 in partitioned form:
-//
-//	hash-partition by fact → per-shard sort → per-shard LAWA+λ → merge
-//
-// Both inputs are hash-partitioned by fact key into K shards (every fact
-// group lands wholly in one shard, so per-shard LAWA output is identical
-// to the sequential computation restricted to those facts). Shards are
-// sorted and swept concurrently on a bounded worker pool, and the sorted
-// shard outputs are k-way merged back into the canonical (fact, Ts) order
-// — the exact order the sequential drivers produce. Results are therefore
-// tuple-for-tuple identical to core.Apply: same facts, same intervals,
-// same lineage trees, same probabilities.
-//
-// Beyond single operations, Eval schedules independent subtrees of a
-// parsed query.Node concurrently, replacing the strictly sequential
-// post-order evaluation of package query; the engine registers itself as
-// query's parallel evaluator at init time, so query.Evaluate routes
-// through it whenever query.SetDefaultParallelism is above one.
 package engine
 
 import (

@@ -28,6 +28,14 @@ func init() {
 // oversubscribe the configured budget. The result is identical to
 // query.Evaluate — same tuples, lineage and probabilities.
 func (e *Engine) Eval(n query.Node, db map[string]*relation.Relation) (*relation.Relation, error) {
+	return e.EvalWith(n, db, core.Options{})
+}
+
+// EvalWith is Eval with explicit driver options, applied to every set
+// operation of the tree (the query service uses it for its per-request
+// LazyProb knob). AssumeSorted refers to the tree's *leaf* relations; the
+// engine's own intermediate results are always sorted.
+func (e *Engine) EvalWith(n query.Node, db map[string]*relation.Relation, opts core.Options) (*relation.Relation, error) {
 	switch q := n.(type) {
 	case *query.Rel:
 		r, ok := db[q.Name]
@@ -37,7 +45,7 @@ func (e *Engine) Eval(n query.Node, db map[string]*relation.Relation) (*relation
 		}
 		return r, nil
 	case *query.Select:
-		in, err := e.Eval(q.Input, db)
+		in, err := e.EvalWith(q.Input, db, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -54,9 +62,9 @@ func (e *Engine) Eval(n query.Node, db map[string]*relation.Relation) (*relation
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			right, rightErr = e.Eval(q.Right, db)
+			right, rightErr = e.EvalWith(q.Right, db, opts)
 		}()
-		left, leftErr := e.Eval(q.Left, db)
+		left, leftErr := e.EvalWith(q.Left, db, opts)
 		wg.Wait()
 		if leftErr != nil {
 			return nil, leftErr
@@ -64,7 +72,7 @@ func (e *Engine) Eval(n query.Node, db map[string]*relation.Relation) (*relation
 		if rightErr != nil {
 			return nil, rightErr
 		}
-		return e.Apply(q.Op, left, right, core.Options{})
+		return e.Apply(q.Op, left, right, opts)
 	}
 	return nil, fmt.Errorf("engine: unknown node type %T", n)
 }

@@ -1,12 +1,3 @@
-// Package interval provides the half-open integer time intervals used by the
-// temporal-probabilistic data model, together with the interval predicates
-// (overlap, adjacency, containment and the thirteen Allen relations) that the
-// set-operation algorithms and the baseline joins are built on.
-//
-// An interval [Ts, Te) contains every time point t with Ts <= t < Te.
-// The time domain ΩT is the set of int64 values; callers may restrict it
-// further (for example the synthetic generators use small dense domains so
-// that counting sort applies).
 package interval
 
 import (

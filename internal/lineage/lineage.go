@@ -1,25 +1,3 @@
-// Package lineage implements the data-lineage Boolean formulas of the
-// temporal-probabilistic data model.
-//
-// A lineage expression λ is a Boolean formula over base-tuple identifiers
-// (Boolean random variables assumed independent) combined with ¬, ∧ and ∨.
-// The package provides:
-//
-//   - construction of formulas, including the three lineage-concatenation
-//     functions and/andNot/or of Table I of the paper;
-//   - the one-occurrence-form (1OF) test underlying Theorem 1;
-//   - probability valuation: a linear-time evaluator that is exact for 1OF
-//     formulas (independent subformulas), an exact Shannon-expansion
-//     evaluator for arbitrary formulas, a Monte-Carlo estimator, and a
-//     possible-worlds enumeration oracle used by the test suite;
-//   - canonical (syntactic) rendering used for the change-preservation
-//     comparisons, following footnote 1 of the paper: logical equivalence
-//     checking is co-NP-complete, so the implementation compares lineage
-//     syntactically.
-//
-// Expressions are immutable and may share subtrees freely; all constructors
-// reuse their operands without copying, so composing lineage during query
-// evaluation is O(1) per operation.
 package lineage
 
 import (
@@ -559,6 +537,17 @@ func (e *Expr) ProbMonteCarlo(n int, rng RNG) float64 {
 		}
 	}
 	return float64(hits) / float64(n)
+}
+
+// VarProbs records the marginal probability of every variable occurring
+// in the formula into probs (id → marginal). A nil receiver is a no-op.
+// The query service's wire codec ships these alongside rendered formulas
+// so the lineage parser can reconstruct them.
+func (e *Expr) VarProbs(probs map[string]float64) {
+	if e == nil {
+		return
+	}
+	e.varProbs(probs)
 }
 
 func (e *Expr) varProbs(probs map[string]float64) {

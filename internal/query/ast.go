@@ -1,14 +1,3 @@
-// Package query implements TP set queries (Def. 4 of the paper): arbitrary
-// expressions of TP set operators over a set of named TP relations,
-//
-//	Q ::= r | Q ∪Tp Q | Q ∩Tp Q | Q −Tp Q | (Q) | σ[A=v](Q)
-//
-// (selection is an extension beyond Def. 4; the paper itself uses it in
-// Fig. 6). The package provides a parser for a plain-ASCII surface syntax, a
-// static analyzer that classifies queries as non-repeating (⇒ 1OF lineage
-// and PTIME data complexity, Theorem 1 and Corollary 1) or repeating
-// (#P-hard in general), and an evaluator with pluggable execution
-// algorithms.
 package query
 
 import (

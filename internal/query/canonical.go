@@ -1,0 +1,65 @@
+package query
+
+import (
+	"strings"
+
+	"github.com/tpset/tpset/internal/core"
+)
+
+// Canonical renders the query in a canonical ASCII form: the parser's
+// surface syntax with every set operation fully parenthesized and exactly
+// one space around operators, e.g.
+//
+//	(c - (a | b))
+//	sigma[Product='milk']((a & b))
+//
+// The rendering is deterministic — structurally equal trees always render
+// to the same string — and re-parseable: Parse(Canonical(n)) reproduces a
+// tree with the same canonical form. Two input strings that differ only in
+// whitespace, redundant parentheses or operator spelling ("union" vs "|")
+// therefore share one canonical form, which is what the query-result cache
+// keys on (see internal/server).
+//
+// Canonical deliberately performs no semantic rewriting: commutativity of
+// ∪Tp/∩Tp is not normalized ("a | b" and "b | a" key separately), keeping
+// the canonical form cheap, predictable and bijective with the tree shape.
+func Canonical(n Node) string {
+	var b strings.Builder
+	canonical(n, &b)
+	return b.String()
+}
+
+func canonical(n Node, b *strings.Builder) {
+	switch q := n.(type) {
+	case *Rel:
+		b.WriteString(q.Name)
+	case *SetOp:
+		b.WriteByte('(')
+		canonical(q.Left, b)
+		b.WriteByte(' ')
+		b.WriteString(opASCII(q.Op))
+		b.WriteByte(' ')
+		canonical(q.Right, b)
+		b.WriteByte(')')
+	case *Select:
+		b.WriteString("sigma[")
+		b.WriteString(q.Attr)
+		b.WriteString("='")
+		b.WriteString(q.Value)
+		b.WriteString("'](")
+		canonical(q.Input, b)
+		b.WriteByte(')')
+	}
+}
+
+// opASCII maps an operation to its ASCII surface-syntax spelling.
+func opASCII(op core.Op) string {
+	switch op {
+	case core.OpUnion:
+		return "|"
+	case core.OpIntersect:
+		return "&"
+	default:
+		return "-"
+	}
+}

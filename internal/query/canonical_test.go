@@ -1,0 +1,76 @@
+package query
+
+import "testing"
+
+func TestCanonicalFixpoint(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"a", "a"},
+		{"a | b", "(a | b)"},
+		{"a union b", "(a | b)"},
+		{"  a   |(b)  ", "(a | b)"},
+		{"((a)) | ((b))", "(a | b)"},
+		{"c - (a | b)", "(c - (a | b))"},
+		{"c minus (a union b)", "(c - (a | b))"},
+		{"a & b & c", "((a & b) & c)"},
+		{"a | b & c", "(a | (b & c))"},
+		{"sigma[Product='milk'](c) & a", "(sigma[Product='milk'](c) & a)"},
+		{"sigma[P=v](a - b)", "sigma[P='v']((a - b))"},
+	}
+	for _, c := range cases {
+		n, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		got := Canonical(n)
+		if got != c.want {
+			t.Errorf("Canonical(%q) = %q, want %q", c.in, got, c.want)
+		}
+		// Re-parse: the canonical form must be valid surface syntax with the
+		// same canonical rendering (fixpoint).
+		n2, err := Parse(got)
+		if err != nil {
+			t.Fatalf("Parse(Canonical(%q)) = Parse(%q): %v", c.in, got, err)
+		}
+		if got2 := Canonical(n2); got2 != got {
+			t.Errorf("canonical not a fixpoint for %q: %q then %q", c.in, got, got2)
+		}
+	}
+}
+
+func TestIsIdent(t *testing.T) {
+	for _, ok := range []string{"a", "r1", "_x", "web.kit", "Meteo_CH", "42"} {
+		if !IsIdent(ok) {
+			t.Errorf("IsIdent(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", "my-rel", "a b", ".dot", "union", "Intersect", "minus", "sigma", "a|b"} {
+		if IsIdent(bad) {
+			t.Errorf("IsIdent(%q) = true, want false", bad)
+		}
+	}
+	// Every accepted name must actually parse back to itself as a query.
+	n, err := Parse("web.kit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, isRel := n.(*Rel); !isRel || r.Name != "web.kit" {
+		t.Fatalf("parsed %v", n)
+	}
+}
+
+func TestCanonicalDistinguishesShape(t *testing.T) {
+	// No semantic normalization: operand order and association are kept.
+	a := Canonical(MustParse("a | b"))
+	b := Canonical(MustParse("b | a"))
+	if a == b {
+		t.Errorf("commuted operands must render differently, both %q", a)
+	}
+	l := Canonical(MustParse("(a & b) & c"))
+	r := Canonical(MustParse("a & (b & c)"))
+	if l == r {
+		t.Errorf("different associations must render differently, both %q", l)
+	}
+}

@@ -41,6 +41,28 @@ func MustParse(input string) Node {
 	return n
 }
 
+// IsIdent reports whether s can name a relation in the surface grammar: a
+// non-empty run of letters, digits, underscores and (non-leading) dots
+// that is not a reserved word. The query service validates catalog names
+// with this, so every admitted relation is actually referenceable from a
+// query ("my-rel" would lex as "my - rel", and "union" is an operator).
+func IsIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || (r == '.' && i > 0) {
+			continue
+		}
+		return false
+	}
+	switch strings.ToLower(s) {
+	case "union", "intersect", "except", "minus", "sigma":
+		return false
+	}
+	return true
+}
+
 type tokKind int
 
 const (

@@ -1,11 +1,3 @@
-// Package ref provides a deliberately naive reference implementation of the
-// TP set operations, evaluated exactly as Definition 3 of the paper states
-// them: per time point, per fact, over the lineages λ_t^{r,f} and λ_t^{s,f},
-// followed by change-preservation coalescing of consecutive time points with
-// syntactically equivalent lineage.
-//
-// Its complexity is O((|r|+|s|) · |ΩT|) — unusable for benchmarks, perfect
-// as the gold standard the fast implementations are validated against.
 package ref
 
 import (

@@ -1,13 +1,3 @@
-// Package relation implements the sequenced temporal-probabilistic relation
-// model of the paper: a TP relation over schema RTp(F, λ, T, p) is a finite,
-// duplicate-free set of tuples, each carrying a fact (the conventional
-// attribute values), a lineage expression, a half-open time interval and a
-// marginal probability.
-//
-// The package provides construction and validation (duplicate-freeness),
-// the timeslice operator τ_t^p used to define snapshot reducibility,
-// change-preservation coalescing, sorting by (fact, Ts) as required by the
-// LAWA sweep, and the dataset statistics reported in Table IV of the paper.
 package relation
 
 import (

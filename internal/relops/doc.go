@@ -1,0 +1,24 @@
+// Package relops extends the TP set operations toward full relational
+// algebra — the direction the paper names as future work (§VIII). It
+// provides duplicate-free-preserving selection and temporal-probabilistic
+// projection with lineage-disjunctive duplicate elimination.
+//
+// Projection is the interesting case: projecting facts onto an attribute
+// subset can map several distinct facts to the same projected fact, so at
+// one time point several input tuples may support one output fact. The
+// output lineage is the disjunction of the contributors' lineages, and the
+// intervals are re-fragmented at contributor boundaries (snapshot
+// reducibility) and re-coalesced where lineage stays equivalent (change
+// preservation). Unlike non-repeating set queries, projections can produce
+// output lineage that is NOT in one-occurrence form further downstream —
+// this is exactly the boundary where probabilistic query evaluation leaves
+// the tractable class, and the probability evaluator falls back to Shannon
+// expansion automatically.
+//
+// Invariant: both operators preserve duplicate-freeness (Def. 1) and
+// change preservation (Def. 2); selection additionally commutes with
+// ∪Tp/∩Tp/−Tp, which is what licenses the query rewriter's push-down.
+//
+// Paper map: §VIII (future work: further TP operators); selection σ also
+// appears in Fig. 6. See docs/PAPER_MAP.md.
+package relops

@@ -1,19 +1,3 @@
-// Package relops extends the TP set operations toward full relational
-// algebra — the direction the paper names as future work (§VIII). It
-// provides duplicate-free-preserving selection and temporal-probabilistic
-// projection with lineage-disjunctive duplicate elimination.
-//
-// Projection is the interesting case: projecting facts onto an attribute
-// subset can map several distinct facts to the same projected fact, so at
-// one time point several input tuples may support one output fact. The
-// output lineage is the disjunction of the contributors' lineages, and the
-// intervals are re-fragmented at contributor boundaries (snapshot
-// reducibility) and re-coalesced where lineage stays equivalent (change
-// preservation). Unlike non-repeating set queries, projections can produce
-// output lineage that is NOT in one-occurrence form further downstream —
-// this is exactly the boundary where probabilistic query evaluation leaves
-// the tractable class, and the probability evaluator falls back to Shannon
-// expansion automatically.
 package relops
 
 import (

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// CacheKey builds the result-cache key for a query: the canonical query
+// string (query.Canonical of the optimized tree, plus any evaluation flags
+// that change the result payload) joined with the sorted version vector of
+// its input relations. Because every catalog mutation bumps versions, a
+// key is valid forever: it can only ever map to the one result computed
+// from exactly that catalog state.
+func CacheKey(canonical string, versions []RelVersion) string {
+	var b strings.Builder
+	b.WriteString(canonical)
+	b.WriteByte('\x00')
+	for i, v := range versions {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s@%d", v.Name, v.Version)
+	}
+	return b.String()
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Entries       int    `json:"entries"`
+	Capacity      int    `json:"capacity"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+}
+
+// Cache is a bounded LRU map from cache keys to query results. Entries
+// remember which relations they were computed from, so a catalog mutation
+// can invalidate exactly its dependents (InvalidateRelation) — version-
+// stamped keys already guarantee stale entries are never *hit*, eager
+// invalidation additionally frees their memory immediately instead of
+// waiting for LRU pressure.
+//
+// A Cache is safe for concurrent use. A capacity below one disables
+// caching entirely: Get always misses and Put is a no-op.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits, misses, evictions, invalidations uint64
+}
+
+type cacheEntry struct {
+	key    string
+	deps   []string // relation names the result was computed from
+	result *relation.Relation
+}
+
+// NewCache returns a cache bounded to capacity entries (< 1 disables).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result under key, refreshing its recency.
+func (c *Cache) Get(key string) (*relation.Relation, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).result, true
+}
+
+// Put stores a result under key, recording the relation names it depends
+// on, and evicts the least recently used entries beyond capacity.
+func (c *Cache) Put(key string, deps []string, result *relation.Relation) {
+	if c.cap < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).result = result
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, deps: deps, result: result})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// InvalidateRelation drops every entry whose result was computed from the
+// named relation and returns how many were dropped. Entries over other
+// relations are untouched.
+func (c *Cache) InvalidateRelation(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		for _, dep := range e.deps {
+			if dep == name {
+				c.ll.Remove(el)
+				delete(c.entries, e.key)
+				c.invalidations++
+				dropped++
+				break
+			}
+		}
+		el = next
+	}
+	return dropped
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:       c.ll.Len(),
+		Capacity:      c.cap,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+	}
+}

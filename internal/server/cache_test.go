@@ -1,0 +1,96 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	r := rel1("r", "r1")
+	c.Put("k1", []string{"a"}, r)
+	c.Put("k2", []string{"b"}, r)
+	if _, ok := c.Get("k1"); !ok { // refresh k1: k2 becomes LRU
+		t.Fatal("k1 missing")
+	}
+	c.Put("k3", []string{"c"}, r) // evicts k2
+	if _, ok := c.Get("k2"); ok {
+		t.Fatal("k2 should have been evicted as LRU")
+	}
+	if _, ok := c.Get("k1"); !ok {
+		t.Fatal("k1 should have survived (recently used)")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction, 2 entries", st)
+	}
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits, 1 miss", st)
+	}
+}
+
+func TestCacheInvalidateRelationExact(t *testing.T) {
+	c := NewCache(10)
+	r := rel1("r", "r1")
+	c.Put("q1", []string{"a", "b"}, r)
+	c.Put("q2", []string{"b", "c"}, r)
+	c.Put("q3", []string{"c"}, r)
+
+	if n := c.InvalidateRelation("b"); n != 2 {
+		t.Fatalf("InvalidateRelation(b) dropped %d, want 2", n)
+	}
+	if _, ok := c.Get("q1"); ok {
+		t.Fatal("q1 depends on b, should be gone")
+	}
+	if _, ok := c.Get("q2"); ok {
+		t.Fatal("q2 depends on b, should be gone")
+	}
+	if _, ok := c.Get("q3"); !ok {
+		t.Fatal("q3 does not depend on b, should survive")
+	}
+	st := c.Stats()
+	if st.Invalidations != 2 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v, want 2 invalidations, 0 evictions", st)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	c.Put("k", []string{"a"}, rel1("r", "r1"))
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("disabled cache must not store")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheKeyShape(t *testing.T) {
+	k := CacheKey("(a | b)", []RelVersion{{"a", 3}, {"b", 7}})
+	if want := "(a | b)\x00a@3,b@7"; k != want {
+		t.Fatalf("CacheKey = %q, want %q", k, want)
+	}
+	// Different versions yield different keys.
+	k2 := CacheKey("(a | b)", []RelVersion{{"a", 4}, {"b", 7}})
+	if k == k2 {
+		t.Fatal("version bump must change the key")
+	}
+}
+
+func TestCachePutOverCapacitySequence(t *testing.T) {
+	c := NewCache(3)
+	r := rel1("r", "r1")
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []string{"a"}, r)
+	}
+	st := c.Stats()
+	if st.Entries != 3 || st.Evictions != 7 {
+		t.Fatalf("stats = %+v, want 3 entries, 7 evictions", st)
+	}
+	// The three most recent survive.
+	for i := 7; i < 10; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("k%d should be cached", i)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// RelVersion identifies one observed catalog state of one relation.
+type RelVersion struct {
+	Name    string `json:"name"`
+	Version uint64 `json:"version"`
+}
+
+// Catalog is a versioned, concurrency-safe store of named TP relations.
+//
+// Versions are drawn from one catalog-wide monotonic counter: every Put
+// and Drop bumps it, and a Put stamps the new counter value onto the
+// entry. Distinct observable states of a relation therefore always carry
+// distinct versions — even across a drop-and-reload of the same name —
+// which is what the query-result cache keys on.
+//
+// Stored relations are treated as immutable; Put replaces the pointer.
+// Callers receiving a *relation.Relation from the catalog must not mutate
+// it.
+type Catalog struct {
+	mu    sync.RWMutex
+	rels  map[string]catEntry
+	clock uint64
+}
+
+type catEntry struct {
+	rel     *relation.Relation
+	version uint64
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{rels: make(map[string]catEntry)}
+}
+
+// Put loads or replaces the relation under name, returning its new
+// version and whether the name already existed (decided under the same
+// write lock, so concurrent Puts report create-vs-replace consistently).
+// The relation must not be mutated afterwards.
+func (c *Catalog) Put(name string, rel *relation.Relation) (version uint64, existed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, existed = c.rels[name]
+	c.clock++
+	c.rels[name] = catEntry{rel: rel, version: c.clock}
+	return c.clock, existed
+}
+
+// Get returns the relation under name and its version.
+func (c *Catalog) Get(name string) (*relation.Relation, uint64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.rels[name]
+	return e.rel, e.version, ok
+}
+
+// Drop removes the relation under name; it reports whether it existed.
+// A successful drop bumps the catalog clock, so a later reload of the same
+// name can never reuse a previously observed version.
+func (c *Catalog) Drop(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.rels[name]; !ok {
+		return false
+	}
+	c.clock++
+	delete(c.rels, name)
+	return true
+}
+
+// Len returns the number of stored relations.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.rels)
+}
+
+// Clock returns the current value of the catalog-wide version counter.
+func (c *Catalog) Clock() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.clock
+}
+
+// List returns every stored relation's name and version, sorted by name.
+func (c *Catalog) List() []RelVersion {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]RelVersion, 0, len(c.rels))
+	for name, e := range c.rels {
+		out = append(out, RelVersion{Name: name, Version: e.version})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Snapshot resolves the named relations under one read lock, returning an
+// evaluation database plus the version vector (sorted by name) that
+// identifies the observed state. The single lock acquisition makes the
+// snapshot atomic: a concurrent Put either fully precedes it (new pointer
+// and version) or fully follows it (old pointer and version) — never a
+// torn mix for one relation.
+func (c *Catalog) Snapshot(names []string) (map[string]*relation.Relation, []RelVersion, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	db := make(map[string]*relation.Relation, len(names))
+	versions := make([]RelVersion, 0, len(names))
+	var missing []string
+	for _, name := range names {
+		e, ok := c.rels[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		if _, dup := db[name]; dup {
+			continue
+		}
+		db[name] = e.rel
+		versions = append(versions, RelVersion{Name: name, Version: e.version})
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return nil, nil, fmt.Errorf("unknown relation(s) %s", strings.Join(missing, ", "))
+	}
+	sort.Slice(versions, func(i, j int) bool { return versions[i].Name < versions[j].Name })
+	return db, versions, nil
+}

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"testing"
+
+	"github.com/tpset/tpset/internal/relation"
+)
+
+func rel1(name, id string) *relation.Relation {
+	r := relation.New(relation.NewSchema(name, "Product"))
+	r.AddBase(relation.NewFact("milk"), id, 1, 5, 0.5)
+	return r
+}
+
+func TestCatalogVersionsMonotonic(t *testing.T) {
+	c := NewCatalog()
+	v1, existed := c.Put("a", rel1("a", "a1"))
+	if existed {
+		t.Fatal("first Put reported existed")
+	}
+	v2, _ := c.Put("b", rel1("b", "b1"))
+	if v1 >= v2 {
+		t.Fatalf("versions not increasing: %d then %d", v1, v2)
+	}
+	v3, replaced := c.Put("a", rel1("a", "a2")) // replace bumps
+	if !replaced {
+		t.Fatal("replacing Put reported existed=false")
+	}
+	if v3 <= v2 {
+		t.Fatalf("replace did not bump: %d after %d", v3, v2)
+	}
+	if _, v, ok := c.Get("a"); !ok || v != v3 {
+		t.Fatalf("Get(a) = version %d, %v; want %d, true", v, ok, v3)
+	}
+
+	// Drop bumps the clock, so re-loading the same name never reuses a
+	// version an earlier observer might have cached under.
+	if !c.Drop("a") {
+		t.Fatal("Drop(a) = false")
+	}
+	if c.Drop("a") {
+		t.Fatal("second Drop(a) = true")
+	}
+	v4, _ := c.Put("a", rel1("a", "a3"))
+	if v4 <= v3 {
+		t.Fatalf("post-drop reload reused version: %d after %d", v4, v3)
+	}
+}
+
+func TestCatalogSnapshot(t *testing.T) {
+	c := NewCatalog()
+	va, _ := c.Put("a", rel1("a", "a1"))
+	vb, _ := c.Put("b", rel1("b", "b1"))
+
+	db, versions, err := c.Snapshot([]string{"b", "a", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db) != 2 {
+		t.Fatalf("db has %d entries, want 2", len(db))
+	}
+	want := []RelVersion{{"a", va}, {"b", vb}}
+	if len(versions) != 2 || versions[0] != want[0] || versions[1] != want[1] {
+		t.Fatalf("versions = %v, want %v (sorted by name, deduplicated)", versions, want)
+	}
+
+	if _, _, err := c.Snapshot([]string{"a", "zz", "yy"}); err == nil {
+		t.Fatal("Snapshot with unknown names: want error")
+	} else if got := err.Error(); got != "unknown relation(s) yy, zz" {
+		t.Fatalf("error = %q", got)
+	}
+}
+
+func TestCatalogList(t *testing.T) {
+	c := NewCatalog()
+	c.Put("z", rel1("z", "z1"))
+	c.Put("a", rel1("a", "a1"))
+	l := c.List()
+	if len(l) != 2 || l[0].Name != "a" || l[1].Name != "z" {
+		t.Fatalf("List() = %v, want sorted [a z]", l)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len() = %d", c.Len())
+	}
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/tpset/tpset/internal/interval"
+	"github.com/tpset/tpset/internal/lineage"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// The JSON wire format for TP relations. One tuple is
+//
+//	{"fact": ["milk"], "lineage": "c1∧¬a1", "ts": 2, "te": 4, "p": 0.42,
+//	 "varProbs": {"c1": 0.6, "a1": 0.3}}
+//
+// Lineage travels in its rendered form (see lineage.Expr.String) and is
+// reconstructed through the lineage parser, so — unlike the CSV layout,
+// which keeps derived formulas opaque — the JSON codec round-trips the
+// full formula structure. varProbs carries the marginal probability of
+// every variable occurring in the formula; it may be omitted when the
+// lineage is a single bare variable, in which case the tuple's own p is
+// the variable's marginal.
+
+// TupleJSON is the wire form of one TP tuple (F, λ, T, p).
+type TupleJSON struct {
+	Fact     []string           `json:"fact"`
+	Lineage  string             `json:"lineage"`
+	Ts       int64              `json:"ts"`
+	Te       int64              `json:"te"`
+	Prob     float64            `json:"p"`
+	VarProbs map[string]float64 `json:"varProbs,omitempty"`
+}
+
+// RelationJSON is the wire form of a TP relation. Version is stamped by
+// the catalog on responses and ignored on requests.
+type RelationJSON struct {
+	Name    string      `json:"name"`
+	Attrs   []string    `json:"attrs"`
+	Version uint64      `json:"version,omitempty"`
+	Tuples  []TupleJSON `json:"tuples"`
+}
+
+// EncodeRelation converts a relation to its wire form. version 0 omits the
+// version field.
+func EncodeRelation(r *relation.Relation, version uint64) RelationJSON {
+	rj := RelationJSON{
+		Name:    r.Schema.Name,
+		Attrs:   r.Schema.Attrs,
+		Version: version,
+		Tuples:  make([]TupleJSON, 0, len(r.Tuples)),
+	}
+	if rj.Attrs == nil {
+		rj.Attrs = []string{}
+	}
+	for i := range r.Tuples {
+		t := &r.Tuples[i]
+		tj := TupleJSON{
+			Fact:    []string(t.Fact),
+			Lineage: t.Lineage.String(),
+			Ts:      t.T.Ts,
+			Te:      t.T.Te,
+			Prob:    t.Prob,
+		}
+		// A bare variable's marginal is recoverable from the tuple itself
+		// when the probability was valuated eagerly; anything else (a real
+		// formula, or a lazily unvaluated tuple) ships explicit marginals.
+		if t.Lineage != nil && (t.Lineage.Kind() != lineage.KindVar || t.Prob != t.Lineage.VarProb()) {
+			tj.VarProbs = make(map[string]float64)
+			t.Lineage.VarProbs(tj.VarProbs)
+		}
+		rj.Tuples = append(rj.Tuples, tj)
+	}
+	return rj
+}
+
+// DecodeRelation reconstructs a relation from its wire form. name, when
+// non-empty, overrides rj.Name (the URL path segment wins over the body).
+// Every lineage string runs through the lineage parser; variable marginals
+// resolve through the tuple's varProbs map, falling back to the tuple's p
+// for a single bare variable. The decoded relation is sorted into
+// canonical (fact, Ts) order but NOT validated for duplicate-freeness —
+// callers admitting data of unknown provenance (the PUT handler) must call
+// ValidateDuplicateFree themselves.
+func DecodeRelation(rj RelationJSON, name string) (*relation.Relation, error) {
+	if name == "" {
+		name = rj.Name
+	}
+	if name == "" {
+		return nil, fmt.Errorf("relation has no name")
+	}
+	if len(rj.Attrs) == 0 {
+		return nil, fmt.Errorf("relation %q: needs at least one attribute", name)
+	}
+	rel := relation.New(relation.NewSchema(name, rj.Attrs...))
+	for i, tj := range rj.Tuples {
+		t, err := decodeTuple(tj, len(rj.Attrs))
+		if err != nil {
+			return nil, fmt.Errorf("relation %q: tuple %d: %w", name, i, err)
+		}
+		rel.Add(t)
+	}
+	rel.Sort()
+	return rel, nil
+}
+
+func decodeTuple(tj TupleJSON, nattrs int) (relation.Tuple, error) {
+	var zero relation.Tuple
+	if len(tj.Fact) != nattrs {
+		return zero, fmt.Errorf("fact has %d values, schema has %d attributes", len(tj.Fact), nattrs)
+	}
+	if tj.Ts >= tj.Te {
+		return zero, fmt.Errorf("empty interval [%d,%d)", tj.Ts, tj.Te)
+	}
+	if tj.Prob < 0 || tj.Prob > 1 || math.IsNaN(tj.Prob) {
+		return zero, fmt.Errorf("probability %v outside [0,1]", tj.Prob)
+	}
+	bare := strings.TrimSpace(tj.Lineage)
+	expr, err := lineage.Parse(tj.Lineage, func(id string) (float64, error) {
+		if p, ok := tj.VarProbs[id]; ok {
+			if p <= 0 || p > 1 || math.IsNaN(p) {
+				return 0, fmt.Errorf("varProbs[%q] = %v outside (0,1]", id, p)
+			}
+			return p, nil
+		}
+		if id == bare {
+			// Single bare variable: the tuple's p IS the marginal.
+			if tj.Prob <= 0 {
+				return 0, fmt.Errorf("variable %q needs a positive marginal (tuple p = %v and no varProbs entry)", id, tj.Prob)
+			}
+			return tj.Prob, nil
+		}
+		return 0, fmt.Errorf("no varProbs entry for variable %q", id)
+	})
+	if err != nil {
+		return zero, fmt.Errorf("lineage %q: %w", tj.Lineage, err)
+	}
+	if expr == nil {
+		return zero, fmt.Errorf("lineage %q: null lineage is not a valid tuple annotation", tj.Lineage)
+	}
+	t := relation.NewDerivedLazy(relation.NewFact(tj.Fact...), expr, interval.New(tj.Ts, tj.Te))
+	t.Prob = tj.Prob
+	return t, nil
+}

@@ -1,0 +1,364 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/engine"
+	"github.com/tpset/tpset/internal/query"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers is the default worker budget of POST /query when the request
+	// does not set one. Values below one select runtime.GOMAXPROCS.
+	Workers int
+	// CacheSize bounds the result cache in entries. 0 selects
+	// DefaultCacheSize; negative disables caching.
+	CacheSize int
+}
+
+// DefaultCacheSize is the result-cache capacity when Config leaves it 0.
+const DefaultCacheSize = 256
+
+// Server is the HTTP/JSON query service: a versioned relation catalog, a
+// query evaluator over the partition-parallel engine, and an LRU result
+// cache. Create one with New, seed the catalog (Load or PUT requests) and
+// serve Handler().
+type Server struct {
+	cfg     Config
+	catalog *Catalog
+	cache   *Cache
+	mux     *http.ServeMux
+	started time.Time
+
+	queries   atomic.Uint64 // POST /query requests admitted to evaluation or cache
+	evalCount atomic.Uint64 // queries actually evaluated (cache misses)
+}
+
+// New returns a server with an empty catalog.
+func New(cfg Config) *Server {
+	size := cfg.CacheSize
+	switch {
+	case size == 0:
+		size = DefaultCacheSize
+	case size < 0:
+		size = 0 // disabled
+	}
+	s := &Server{
+		cfg:     cfg,
+		catalog: NewCatalog(),
+		cache:   NewCache(size),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /relations", s.handleListRelations)
+	s.mux.HandleFunc("PUT /relations/{name}", s.handlePutRelation)
+	s.mux.HandleFunc("GET /relations/{name}", s.handleGetRelation)
+	s.mux.HandleFunc("DELETE /relations/{name}", s.handleDeleteRelation)
+	s.mux.HandleFunc("GET /stats/{name}", s.handleStats)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	return s
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Load seeds or replaces a catalog relation programmatically (startup
+// seeding by cmd/tpserve; tests). Exactly like a PUT request, it checks
+// the name against the query grammar, validates duplicate-freeness,
+// sorts, bumps the version and invalidates dependent cache entries.
+//
+// Load and PUT are the only mutation paths: evaluation relies on catalog
+// relations being sorted and duplicate-free (it runs the drivers with
+// AssumeSorted), so the raw catalog is deliberately not exposed.
+func (s *Server) Load(name string, rel *relation.Relation) (uint64, error) {
+	if !query.IsIdent(name) {
+		return 0, fmt.Errorf("invalid relation name %q: must be an identifier of the query grammar (letters, digits, _, non-leading dots; not a reserved word)", name)
+	}
+	if err := rel.ValidateDuplicateFree(); err != nil {
+		return 0, err
+	}
+	rel.Sort()
+	version, _ := s.catalog.Put(name, rel)
+	s.cache.InvalidateRelation(name)
+	return version, nil
+}
+
+// Drop removes a catalog relation and invalidates its dependent cache
+// entries; it reports whether the relation existed.
+func (s *Server) Drop(name string) bool {
+	if !s.catalog.Drop(name) {
+		return false
+	}
+	s.cache.InvalidateRelation(name)
+	return true
+}
+
+// Relations returns the catalog's relation names and versions, sorted by
+// name.
+func (s *Server) Relations() []RelVersion { return s.catalog.List() }
+
+// Relation returns the named catalog relation and its version. The
+// returned relation is shared and must be treated as read-only.
+func (s *Server) Relation(name string) (*relation.Relation, uint64, bool) {
+	return s.catalog.Get(name)
+}
+
+// CacheStats returns the result-cache counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// QueryRequest is the body of POST /query.
+type QueryRequest struct {
+	// Query is a TP set query in the Def. 4 surface syntax, e.g.
+	// "c - (a | b)".
+	Query string `json:"query"`
+	// Workers overrides the server's default worker budget for this
+	// request (0 = server default, which itself defaults to GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// LazyProb skips probability valuation: result tuples carry lineage
+	// and p = 0. Cached separately from eager results.
+	LazyProb bool `json:"lazyProb,omitempty"`
+	// NoCache bypasses the result cache for this request (no lookup, no
+	// store); the benchmark harness uses it to measure cold latency.
+	NoCache bool `json:"noCache,omitempty"`
+}
+
+// QueryResponse is the body of a successful POST /query.
+type QueryResponse struct {
+	// Query is the canonical form of the optimized query — the first half
+	// of the cache key.
+	Query string `json:"query"`
+	// Complexity classifies the query (PTIME vs #P-hard; Theorem 1).
+	Complexity string `json:"complexity"`
+	// Inputs is the version vector the result was computed from — the
+	// second half of the cache key.
+	Inputs []RelVersion `json:"inputs"`
+	// Cached reports whether the result came from the cache.
+	Cached bool `json:"cached"`
+	// ElapsedMicros is the server-side latency of this request in
+	// microseconds (evaluation or cache lookup, excluding JSON encoding).
+	ElapsedMicros int64 `json:"elapsedMicros"`
+	// Result is the output relation.
+	Result RelationJSON `json:"result"`
+}
+
+// RunQuery is the evaluation path of POST /query, exposed for the
+// benchmark harness and tests: parse → push down selections → snapshot
+// catalog versions → cache lookup → partition-parallel evaluation → cache
+// store.
+func (s *Server) RunQuery(req QueryRequest) (*QueryResponse, error) {
+	node, err := query.Parse(req.Query)
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	optimized := query.PushDownSelections(node)
+	canonical := query.Canonical(optimized)
+	names := query.Relations(optimized)
+
+	db, versions, err := s.catalog.Snapshot(names)
+	if err != nil {
+		return nil, &httpError{http.StatusNotFound, err.Error()}
+	}
+
+	resp := &QueryResponse{
+		Query:      canonical,
+		Complexity: query.Classify(optimized).String(),
+		Inputs:     versions,
+	}
+	s.queries.Add(1)
+
+	// LazyProb changes the payload (probabilities unvaluated), so it is
+	// part of the canonical key half.
+	keyQuery := canonical
+	if req.LazyProb {
+		keyQuery += "\x00lazy"
+	}
+	key := CacheKey(keyQuery, versions)
+
+	start := time.Now()
+	if !req.NoCache {
+		if out, ok := s.cache.Get(key); ok {
+			resp.Cached = true
+			resp.ElapsedMicros = time.Since(start).Microseconds()
+			resp.Result = EncodeRelation(out, 0)
+			return resp, nil
+		}
+	}
+
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out, err := engine.New(engine.Config{Workers: workers}).
+		EvalWith(optimized, db, engineOptions(req))
+	if err != nil {
+		return nil, &httpError{http.StatusUnprocessableEntity, err.Error()}
+	}
+	s.evalCount.Add(1)
+	if !req.NoCache {
+		s.cache.Put(key, names, out)
+	}
+	resp.ElapsedMicros = time.Since(start).Microseconds()
+	resp.Result = EncodeRelation(out, 0)
+	return resp, nil
+}
+
+// engineOptions maps per-request knobs onto the set-operation drivers.
+// Catalog relations are validated at admission and sorted at load, so
+// evaluation never re-validates and skips the leaf sort.
+func engineOptions(req QueryRequest) core.Options {
+	return core.Options{AssumeSorted: true, LazyProb: req.LazyProb}
+}
+
+// httpError carries a status code through the service layer.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"relations": s.catalog.Len(),
+		"uptimeSec": int64(time.Since(s.started).Seconds()),
+	})
+}
+
+// Metrics is the body of GET /metrics.
+type Metrics struct {
+	Relations    int        `json:"relations"`
+	CatalogClock uint64     `json:"catalogClock"`
+	Queries      uint64     `json:"queries"`
+	Evaluations  uint64     `json:"evaluations"`
+	Cache        CacheStats `json:"cache"`
+	UptimeSec    int64      `json:"uptimeSec"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, Metrics{
+		Relations:    s.catalog.Len(),
+		CatalogClock: s.catalog.Clock(),
+		Queries:      s.queries.Load(),
+		Evaluations:  s.evalCount.Load(),
+		Cache:        s.cache.Stats(),
+		UptimeSec:    int64(time.Since(s.started).Seconds()),
+	})
+}
+
+func (s *Server) handleListRelations(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"relations": s.catalog.List()})
+}
+
+func (s *Server) handlePutRelation(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !query.IsIdent(name) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("invalid relation name %q: must be an identifier of the query grammar (letters, digits, _, non-leading dots; not a reserved word)", name))
+		return
+	}
+	var rj RelationJSON
+	if err := json.NewDecoder(r.Body).Decode(&rj); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding body: %v", err))
+		return
+	}
+	rel, err := DecodeRelation(rj, name)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := rel.ValidateDuplicateFree(); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	version, existed := s.catalog.Put(name, rel)
+	s.cache.InvalidateRelation(name)
+	status := http.StatusCreated
+	if existed {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, map[string]any{
+		"name": name, "version": version, "tuples": rel.Len(),
+	})
+}
+
+func (s *Server) handleGetRelation(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	rel, version, ok := s.catalog.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown relation %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, EncodeRelation(rel, version))
+}
+
+func (s *Server) handleDeleteRelation(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.catalog.Drop(name) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown relation %q", name))
+		return
+	}
+	invalidated := s.cache.InvalidateRelation(name)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name": name, "dropped": true, "invalidatedCacheEntries": invalidated,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	rel, version, ok := s.catalog.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown relation %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":    name,
+		"version": version,
+		"stats":   relation.ComputeStats(rel),
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding body: %v", err))
+		return
+	}
+	resp, err := s.RunQuery(req)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if he, ok := err.(*httpError); ok {
+			status = he.status
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // write errors mean a gone client; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,47 +1,7 @@
-// Package tpset is a temporal-probabilistic (TP) database library: the
-// public API of this repository's reproduction of
-//
-//	K. Papaioannou, M. Theobald, M. Böhlen:
-//	"Supporting Set Operations in Temporal-Probabilistic Databases",
-//	ICDE 2018, pp. 1180–1191.
-//
-// A TP relation is a duplicate-free set of tuples (F, λ, T, p): a fact, a
-// Boolean lineage formula over independent base-tuple variables, a
-// half-open validity interval and a marginal probability. The library
-// evaluates the three TP set operations — union ∪Tp, intersection ∩Tp and
-// difference −Tp — under a sequenced possible-worlds semantics, in
-// linearithmic time, using the paper's lineage-aware window advancer
-// (LAWA).
-//
-// # Quick start
-//
-//	a := tpset.NewRelation("bought", "Product")
-//	a.AddBase(tpset.F("milk"), "a1", 2, 10, 0.3)
-//	c := tpset.NewRelation("stock", "Product")
-//	c.AddBase(tpset.F("milk"), "c1", 1, 4, 0.6)
-//
-//	out, err := tpset.Except(c, a) // 'in stock and not bought'
-//
-// Each output tuple carries a finalized lineage formula (for example
-// c1∧¬a1) and its exact marginal probability. For query trees, parse the
-// Def. 4 grammar:
-//
-//	q, _ := tpset.ParseQuery("c - (a | b)")
-//	out, _ := tpset.Eval(q, map[string]*tpset.Relation{"a": a, "b": b, "c": c})
-//
-// Non-repeating queries (every relation referenced at most once) are
-// guaranteed to produce one-occurrence-form lineage, whose probability the
-// library computes exactly in linear time; repeating queries fall back to
-// exact Shannon expansion (worst-case exponential — the problem is
-// #P-hard) or Monte-Carlo estimation.
-//
-// The internal packages additionally provide the four baselines of the
-// paper's evaluation (NORM, TPDB grounding, Timeline Index, OIP), the
-// synthetic and real-world-shaped workload generators, and the benchmark
-// harness regenerating every figure and table; see DESIGN.md.
 package tpset
 
 import (
+	"encoding/json"
 	"io"
 
 	"github.com/tpset/tpset/internal/core"
@@ -52,6 +12,7 @@ import (
 	"github.com/tpset/tpset/internal/query"
 	"github.com/tpset/tpset/internal/relation"
 	"github.com/tpset/tpset/internal/relops"
+	"github.com/tpset/tpset/internal/server"
 )
 
 // Re-exported model types. The aliases expose the full method sets of the
@@ -220,6 +181,35 @@ func SimplifyLineage(e *Lineage) *Lineage { return lineage.Simplify(e) }
 // the null lineage.
 func ParseLineage(input string, probs func(id string) (float64, error)) (*Lineage, error) {
 	return lineage.Parse(input, probs)
+}
+
+// CanonicalQuery renders a parsed query in the canonical, re-parseable
+// ASCII surface syntax: fully parenthesized, whitespace- and
+// spelling-normalized ("union" and "|" render identically). Structurally
+// equal trees always render identically, which is what the query service
+// (cmd/tpserve) keys its result cache on.
+func CanonicalQuery(q Query) string { return query.Canonical(q) }
+
+// MarshalRelationJSON renders a relation in the JSON wire format of the
+// query service (cmd/tpserve): one object per tuple with fact values,
+// rendered lineage, interval bounds, probability and — for formula
+// lineage — the variables' marginal probabilities. Unlike the CSV layout,
+// the JSON codec round-trips full lineage structure.
+func MarshalRelationJSON(r *Relation) ([]byte, error) {
+	return json.Marshal(server.EncodeRelation(r, 0))
+}
+
+// UnmarshalRelationJSON reconstructs a relation from the JSON wire format,
+// re-parsing every lineage formula. name, when non-empty, overrides the
+// name stored in the payload. The result is sorted; duplicate-freeness is
+// NOT validated (call ValidateDuplicateFree on data of unknown
+// provenance).
+func UnmarshalRelationJSON(data []byte, name string) (*Relation, error) {
+	var rj server.RelationJSON
+	if err := json.Unmarshal(data, &rj); err != nil {
+		return nil, err
+	}
+	return server.DecodeRelation(rj, name)
 }
 
 // ReadCSV loads a base relation from CSV (columns: facts..., lineage id,

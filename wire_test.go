@@ -1,0 +1,115 @@
+package tpset_test
+
+// Public-API tests of the query-service-facing surface: canonical query
+// rendering and the JSON wire codec.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/tpset/tpset"
+)
+
+func TestCanonicalQuery(t *testing.T) {
+	q1 := tpset.MustParseQuery("c - (a | b)")
+	q2 := tpset.MustParseQuery("  c  minus ((a union b)) ")
+	c1, c2 := tpset.CanonicalQuery(q1), tpset.CanonicalQuery(q2)
+	if c1 != c2 {
+		t.Fatalf("spelling variants disagree: %q vs %q", c1, c2)
+	}
+	if c1 != "(c - (a | b))" {
+		t.Fatalf("canonical = %q", c1)
+	}
+	if rt := tpset.CanonicalQuery(tpset.MustParseQuery(c1)); rt != c1 {
+		t.Fatalf("not a fixpoint: %q then %q", c1, rt)
+	}
+}
+
+func TestRelationJSONRoundTrip(t *testing.T) {
+	a := tpset.NewRelation("bought", "Product")
+	a.AddBase(tpset.F("milk"), "a1", 2, 10, 0.3)
+	c := tpset.NewRelation("stock", "Product")
+	c.AddBase(tpset.F("milk"), "c1", 1, 4, 0.6)
+	out, err := tpset.Except(c, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := tpset.MarshalRelationJSON(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := tpset.UnmarshalRelationJSON(blob, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != out.Len() {
+		t.Fatalf("cardinality %d, want %d", back.Len(), out.Len())
+	}
+	// The derived tuple c1∧¬a1 must survive with structure and exact
+	// probability — the lineage re-parses rather than becoming opaque.
+	back.Sort()
+	last := back.Tuples[back.Len()-1]
+	if got := last.Lineage.String(); got != "c1∧¬a1" {
+		t.Fatalf("lineage = %q, want c1∧¬a1", got)
+	}
+	if got := last.ComputeProb(); got != 0.6*(1-0.3) {
+		t.Fatalf("recomputed prob = %v, want 0.42", got)
+	}
+}
+
+// TestCSVJSONCrossCodecProperty round-trips randomized base relations
+// through BOTH persistence codecs — CSV then JSON — and demands the exact
+// original back: same facts, intervals, lineage and probabilities.
+func TestCSVJSONCrossCodecProperty(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		orig := tpset.NewRelation("r", "Fact")
+		// Small pseudo-random relation, deterministic per seed: chains of
+		// non-overlapping per-fact intervals.
+		state := uint64(seed*2654435761 + 12345)
+		next := func(n int64) int64 {
+			state = state*6364136223846793005 + 1442695040888963407
+			return int64(state>>33) % n
+		}
+		cursor := map[int64]int64{}
+		for i := 0; i < 60; i++ {
+			f := next(7)
+			ts := cursor[f] + next(4)
+			te := ts + 1 + next(6)
+			cursor[f] = te
+			p := 0.05 + float64(next(90))/100
+			orig.AddBase(tpset.F(fmt.Sprintf("f%d", f)), fmt.Sprintf("v%d_%d", seed, i), ts, te, p)
+		}
+
+		var csvBuf bytes.Buffer
+		if err := tpset.WriteCSV(&csvBuf, orig); err != nil {
+			t.Fatal(err)
+		}
+		fromCSV, err := tpset.ReadCSV(&csvBuf, "r")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		blob, err := tpset.MarshalRelationJSON(fromCSV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromJSON, err := tpset.UnmarshalRelationJSON(blob, "r")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		orig.Sort()
+		fromJSON.Sort()
+		if orig.Len() != fromJSON.Len() {
+			t.Fatalf("seed %d: %d tuples became %d", seed, orig.Len(), fromJSON.Len())
+		}
+		for i := range orig.Tuples {
+			a, b := orig.Tuples[i], fromJSON.Tuples[i]
+			if !a.Fact.Equal(b.Fact) || a.T != b.T || a.Prob != b.Prob ||
+				a.Lineage.String() != b.Lineage.String() {
+				t.Fatalf("seed %d tuple %d: %v became %v", seed, i, a, b)
+			}
+		}
+	}
+}
