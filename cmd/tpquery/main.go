@@ -8,9 +8,10 @@
 //	        -q "c - (a | b)"
 //
 // Flags select the execution algorithm (lawa or norm), the worker budget
-// (-workers above one evaluates on the partition-parallel engine) and
-// whether to print the query's complexity classification (Theorem 1 /
-// Corollary 1).
+// (-workers above one evaluates on the partition-parallel engine),
+// streaming execution (-stream evaluates through a cursor plan in
+// O(tree depth) memory, writing rows as they are produced) and whether to
+// print the query's complexity classification (Theorem 1 / Corollary 1).
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/tpset/tpset/internal/core"
 	"github.com/tpset/tpset/internal/csvio"
 	"github.com/tpset/tpset/internal/engine"
 	"github.com/tpset/tpset/internal/query"
@@ -46,6 +48,7 @@ func main() {
 		algo    = flag.String("algo", "lawa", "execution algorithm: lawa | norm")
 		explain = flag.Bool("explain", false, "print the parsed tree and complexity class")
 		workers = flag.Int("workers", 1, "evaluate on the partition-parallel engine with this many workers (lawa only; 0 = GOMAXPROCS)")
+		stream  = flag.Bool("stream", false, "evaluate through a streaming cursor plan (lawa only): no materialized result, rows written as produced")
 	)
 	flag.Parse()
 	if *q == "" || len(rels) == 0 {
@@ -73,6 +76,35 @@ func main() {
 			fatal("%v", err)
 		}
 		db[name] = r
+	}
+
+	if *stream {
+		if query.Algorithm(*algo) != query.AlgoLAWA {
+			fatal("-stream supports only -algo lawa")
+		}
+		cur, err := engine.New(engine.Config{Workers: *workers}).
+			Cursor(node, db, core.Options{})
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer cur.Close()
+		sw, err := csvio.NewStreamWriter(os.Stdout, cur.Schema())
+		if err != nil {
+			fatal("%v", err)
+		}
+		for {
+			t, ok := cur.Next()
+			if !ok {
+				break
+			}
+			if err := sw.WriteTuple(&t); err != nil {
+				fatal("%v", err)
+			}
+		}
+		if err := sw.Close(); err != nil {
+			fatal("%v", err)
+		}
+		return
 	}
 
 	var out *relation.Relation

@@ -22,6 +22,9 @@
 //	DELETE /relations/{name}     drop a relation
 //	GET    /stats/{name}         Table IV statistics
 //	POST   /query                {"query":"c - (a | b)", "workers":8}
+//	POST   /query/stream         same body; NDJSON stream (meta line,
+//	                             one tuple per line, {"done":true} trailer),
+//	                             flushed incrementally, result cache bypassed
 package main
 
 import (

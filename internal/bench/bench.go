@@ -91,6 +91,13 @@ type Cell struct {
 	Duration time.Duration // elapsed wall time
 	Output   int           // output cardinality
 	Skipped  bool          // cut off by the time budget
+	// AllocBytes is the heap allocated during the run (memstats TotalAlloc
+	// delta); only the memory-profiling experiments fill it.
+	AllocBytes uint64
+	// FirstTuple is the time until the first output tuple was available;
+	// only the streaming experiments fill it (a materializing run's first
+	// tuple arrives with its last).
+	FirstTuple time.Duration
 }
 
 // Series is one approach's measurements over a sweep.

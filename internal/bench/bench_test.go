@@ -101,7 +101,7 @@ func TestExperimentsRegistryComplete(t *testing.T) {
 	wantNames := []string{
 		"table2", "fig7a", "fig7b", "fig7c", "fig8", "table3", "fig9a",
 		"fig9b", "table4", "fig10a", "fig10b", "fig10c", "fig11a", "fig11b", "fig11c",
-		"par-size", "par-workers", "serve-cache",
+		"par-size", "par-workers", "serve-cache", "stream-vs-materialize",
 	}
 	got := Names()
 	if strings.Join(got, ",") != strings.Join(wantNames, ",") {

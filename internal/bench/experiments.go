@@ -66,6 +66,7 @@ func Experiments() []Experiment {
 		{"par-size", "Partition-parallel engine vs sequential LAWA: size sweep (∩Tp)", ParSize},
 		{"par-workers", "Partition-parallel engine: worker-count sweep at fixed size (∩Tp)", ParWorkers},
 		{"serve-cache", "Query service: cold evaluation vs result-cache hit (∩Tp)", ServeCache},
+		{"stream-vs-materialize", "Cursor executor vs materializing evaluator: depth sweep (alloc + TTFT)", StreamVsMaterialize},
 	}
 }
 

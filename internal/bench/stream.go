@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/datagen"
+	"github.com/tpset/tpset/internal/query"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// The stream-vs-materialize experiment quantifies the point of the cursor
+// execution layer: the materializing evaluator builds a full intermediate
+// relation at every node of the query tree, so a deep query over large
+// relations allocates O(depth × |r|) memory, while the cursor plan keeps
+// one lookahead buffer per tree edge and allocates only the final result
+// (plus the per-leaf sort clones both executors share). The experiment
+// sweeps tree depth at fixed per-relation size and reports, per executor,
+// wall time, allocated bytes and — for the streaming plan — the time
+// until the first output tuple was available, which for the materializing
+// path coincides with completion.
+
+// streamDepths are the query-tree depths (number of set operations) of
+// the sweep.
+var streamDepths = []int{2, 4, 8, 12}
+
+// streamOpCycle alternates the operations along the chain so the deep
+// tree exercises all three drivers.
+var streamOpCycle = []core.Op{core.OpUnion, core.OpIntersect, core.OpExcept}
+
+// streamChain builds the left-deep query (((r0 op r1) op r2) op r3) ...
+// of the given depth.
+func streamChain(depth int) query.Node {
+	var n query.Node = &query.Rel{Name: "r0"}
+	for i := 0; i < depth; i++ {
+		n = &query.SetOp{
+			Op:    streamOpCycle[i%len(streamOpCycle)],
+			Left:  n,
+			Right: &query.Rel{Name: fmt.Sprintf("r%d", i+1)},
+		}
+	}
+	return n
+}
+
+// streamDB generates depth+1 relations of n tuples each.
+func streamDB(depth, n int, seed int64) map[string]*relation.Relation {
+	db := make(map[string]*relation.Relation, depth+1)
+	for i := 0; i <= depth; i++ {
+		db[fmt.Sprintf("r%d", i)] = datagen.Synthetic(datagen.SyntheticConfig{
+			Name: fmt.Sprintf("r%d", i), NumTuples: n, NumFacts: parFacts(n),
+			MaxLen: 3, MaxGap: 3, Seed: seed + int64(i),
+		})
+	}
+	return db
+}
+
+// measureAlloc runs f and returns its duration and allocated bytes
+// (cumulative heap allocation delta, which is exact regardless of GC
+// timing).
+func measureAlloc(f func()) (time.Duration, uint64) {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	f()
+	d := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return d, m1.TotalAlloc - m0.TotalAlloc
+}
+
+// StreamVsMaterialize sweeps query-tree depth at fixed per-relation size
+// and compares the materializing evaluator against the streaming cursor
+// executor on time, allocated bytes and time-to-first-tuple.
+func StreamVsMaterialize(cfg Config) Result {
+	n := cfg.scaled(40000)
+	mat := Series{Approach: "materialize"}
+	str := Series{Approach: "stream"}
+	note := ""
+
+	for _, depth := range streamDepths {
+		db := streamDB(depth, n, cfg.Seed)
+		tree := streamChain(depth)
+		label := fmt.Sprintf("d%d", depth)
+
+		var matOut int
+		if over(mat, cfg.Budget) {
+			mat.Cells = append(mat.Cells, Cell{X: float64(depth), Label: label, Skipped: true})
+		} else {
+			var out *relation.Relation
+			d, alloc := measureAlloc(func() {
+				var err error
+				out, err = query.EvaluateWith(tree, db, query.AlgoLAWA)
+				if err != nil {
+					panic(fmt.Sprintf("bench: stream-vs-materialize: %v", err))
+				}
+			})
+			matOut = out.Len()
+			mat.Cells = append(mat.Cells, Cell{
+				X: float64(depth), Label: label, Duration: d, Output: matOut, AllocBytes: alloc,
+			})
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "  %-12s %-6s %12s  %8.1fMB  out=%d\n",
+					"materialize", label, d.Round(time.Microsecond), mb(alloc), matOut)
+			}
+		}
+
+		if over(str, cfg.Budget) {
+			str.Cells = append(str.Cells, Cell{X: float64(depth), Label: label, Skipped: true})
+			continue
+		}
+		var count int
+		var firstTuple time.Duration
+		d, alloc := measureAlloc(func() {
+			// The first-tuple clock covers plan build too: a real client
+			// waits for the leaf clone+sort before the first row arrives.
+			start := time.Now()
+			cur, err := query.BuildCursor(tree, db, core.Options{})
+			if err != nil {
+				panic(fmt.Sprintf("bench: stream-vs-materialize: %v", err))
+			}
+			for {
+				t, ok := cur.Next()
+				if !ok {
+					break
+				}
+				if count == 0 {
+					firstTuple = time.Since(start)
+				}
+				count++
+				_ = t
+			}
+		})
+		str.Cells = append(str.Cells, Cell{
+			X: float64(depth), Label: label, Duration: d, Output: count,
+			AllocBytes: alloc, FirstTuple: firstTuple,
+		})
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "  %-12s %-6s %12s  %8.1fMB  out=%d  first=%s\n",
+				"stream", label, d.Round(time.Microsecond), mb(alloc), count, firstTuple.Round(time.Microsecond))
+		}
+
+		mc, sc := mat.Cells[len(mat.Cells)-1], str.Cells[len(str.Cells)-1]
+		if !mc.Skipped {
+			note += fmt.Sprintf("%s: alloc %.1fMB vs %.1fMB (%.1fx less), first tuple %s vs %s; ",
+				label, mb(mc.AllocBytes), mb(sc.AllocBytes),
+				float64(mc.AllocBytes)/float64(max64(sc.AllocBytes, 1)),
+				mc.Duration.Round(time.Microsecond), sc.FirstTuple.Round(time.Microsecond))
+		}
+	}
+
+	return Result{
+		Name:     "stream-vs-materialize",
+		Title:    "cursor executor vs materializing evaluator over tree depth",
+		XLabel:   "depth",
+		Series:   []Series{mat, str},
+		Scale:    cfg.Scale,
+		Footnote: fmt.Sprintf("%d tuples/relation, left-deep ∪/∩/− chain; %s", n, note),
+	}
+}
+
+func mb(b uint64) float64 { return float64(b) / (1024 * 1024) }
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

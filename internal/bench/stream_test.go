@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestStreamVsMaterializeTiny runs a cut-down stream-vs-materialize sweep
+// end to end: both executors must produce identical cardinalities at
+// every depth, and at the deepest tree the cursor executor must allocate
+// less than the materializing evaluator — the acceptance criterion of the
+// streaming execution layer.
+func TestStreamVsMaterializeTiny(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Scale = 0.05 // big enough that intermediates dominate constant costs
+
+	res := StreamVsMaterialize(cfg)
+	if res.Name != "stream-vs-materialize" || len(res.Series) != 2 {
+		t.Fatalf("shape: %q with %d series", res.Name, len(res.Series))
+	}
+	mat, str := res.Series[0], res.Series[1]
+	if len(mat.Cells) != len(streamDepths) || len(str.Cells) != len(streamDepths) {
+		t.Fatalf("cells: %d and %d, want %d", len(mat.Cells), len(str.Cells), len(streamDepths))
+	}
+	for i := range mat.Cells {
+		if mat.Cells[i].Skipped || str.Cells[i].Skipped {
+			continue
+		}
+		if mat.Cells[i].Output != str.Cells[i].Output {
+			t.Errorf("depth %s: stream output %d, materialize %d",
+				mat.Cells[i].Label, str.Cells[i].Output, mat.Cells[i].Output)
+		}
+		if str.Cells[i].FirstTuple > str.Cells[i].Duration {
+			t.Errorf("depth %s: first tuple after completion?", str.Cells[i].Label)
+		}
+	}
+	deep := len(mat.Cells) - 1
+	if !mat.Cells[deep].Skipped && !str.Cells[deep].Skipped {
+		if str.Cells[deep].AllocBytes >= mat.Cells[deep].AllocBytes {
+			t.Errorf("deepest tree: stream allocated %d bytes, materialize %d — streaming must allocate less",
+				str.Cells[deep].AllocBytes, mat.Cells[deep].AllocBytes)
+		}
+	}
+
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "stream-vs-materialize") {
+		t.Errorf("print output lacks experiment name:\n%s", buf.String())
+	}
+}

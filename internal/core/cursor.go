@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/tpset/tpset/internal/lineage"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// Cursor is a pull-based stream of TP tuples in canonical (fact, Ts, Te)
+// order — the streaming form of a sorted relation. Next returns the next
+// tuple, or ok=false when the stream is drained; after that it keeps
+// returning ok=false. Cursors are single-use and not safe for concurrent
+// calls to Next.
+//
+// The ordering invariant is the contract that makes cursors compose: the
+// window advancer requires (fact, Ts)-sorted inputs, and every operator
+// cursor emits its output in exactly that order, so cursors stack into
+// whole query trees that evaluate in O(tree depth) additional memory —
+// one lookahead buffer and one valid tuple per tree edge, no materialized
+// intermediate relations (the O(1)-space-per-operator property of §IV).
+type Cursor interface {
+	// Schema describes the stream's conventional attributes.
+	Schema() relation.Schema
+	// Next returns the next tuple in canonical order.
+	Next() (relation.Tuple, bool)
+}
+
+// ScanCursor streams a materialized relation that must already be in
+// canonical (fact, Ts) order — the leaf of a cursor plan. Tuples are
+// returned by value, so consumers never mutate the underlying relation
+// (in particular, lazy fact-key caching lands in the copy): a ScanCursor
+// may safely stream a relation shared with concurrent readers.
+type ScanCursor struct {
+	r *relation.Relation
+	i int
+}
+
+// NewScanCursor returns a scan over r. Sortedness is a precondition, as
+// for NewAdvancer; relation.Relation.Sort establishes it.
+func NewScanCursor(r *relation.Relation) *ScanCursor { return &ScanCursor{r: r} }
+
+// Schema returns the scanned relation's schema.
+func (c *ScanCursor) Schema() relation.Schema { return c.r.Schema }
+
+// Next returns the next tuple of the relation.
+func (c *ScanCursor) Next() (relation.Tuple, bool) {
+	if c.i >= len(c.r.Tuples) {
+		return relation.Tuple{}, false
+	}
+	t := c.r.Tuples[c.i]
+	c.i++
+	return t, true
+}
+
+// OpCursor evaluates one TP set operation as a stream: it runs the LAWA
+// advancer directly over its children's tuple streams, applies the
+// operation's λ-filter to each candidate window and finalizes output
+// lineage with its Table I concatenation function. It is the streaming
+// form of the Fig. 5 pipeline — same windows, same tuples, same order as
+// the materializing drivers (which are themselves implemented on top of
+// it; see Union/Intersect/Except).
+type OpCursor struct {
+	op     Op
+	a      *Advancer
+	schema relation.Schema
+	opts   Options
+}
+
+// NewOpCursor streams op(left, right). The children must satisfy the
+// Cursor ordering invariant; their schemas must be union-compatible.
+func NewOpCursor(op Op, left, right Cursor, opts Options) (*OpCursor, error) {
+	if op != OpUnion && op != OpIntersect && op != OpExcept {
+		return nil, fmt.Errorf("core: unknown operation %v", op)
+	}
+	ls, rs := left.Schema(), right.Schema()
+	if !ls.Compatible(rs) {
+		return nil, fmt.Errorf("core: incompatible schemas %q (%d attrs) and %q (%d attrs)",
+			ls.Name, len(ls.Attrs), rs.Name, len(rs.Attrs))
+	}
+	return &OpCursor{
+		op:     op,
+		a:      NewStreamAdvancer(left, right),
+		schema: OutSchemaOf(op, ls, rs),
+		opts:   opts,
+	}, nil
+}
+
+// newOpCursorSorted builds an OpCursor over two pre-sorted relations via
+// slice-backed sources — the materializing drivers' entry point, which
+// skips the cursorSource buffering of the general path.
+func newOpCursorSorted(op Op, r, s *relation.Relation, schema relation.Schema, opts Options) *OpCursor {
+	return &OpCursor{op: op, a: NewAdvancer(r, s), schema: schema, opts: opts}
+}
+
+// Schema returns the output schema of the operation.
+func (c *OpCursor) Schema() relation.Schema { return c.schema }
+
+// Next produces the next output tuple: windows are drawn from the
+// advancer until one passes the operation's λ-filter, then finalized with
+// the operation's lineage-concatenation function. The per-operation
+// termination conditions of Algorithms 2–4 apply — intersection stops
+// once either input is exhausted, difference once the left input is.
+func (c *OpCursor) Next() (relation.Tuple, bool) {
+	for {
+		switch c.op {
+		case OpIntersect:
+			if c.a.RExhausted() || c.a.SExhausted() {
+				return relation.Tuple{}, false
+			}
+		case OpExcept:
+			if c.a.RExhausted() {
+				return relation.Tuple{}, false
+			}
+		}
+		w, ok := c.a.Next()
+		if !ok {
+			return relation.Tuple{}, false
+		}
+		var lam *lineage.Expr
+		keep := false
+		switch c.op { // λ-filter, then λ-function (Table I)
+		case OpIntersect:
+			if w.LamR != nil && w.LamS != nil {
+				keep, lam = true, lineage.And(w.LamR, w.LamS)
+			}
+		case OpUnion:
+			if w.LamR != nil || w.LamS != nil {
+				keep, lam = true, lineage.Or(w.LamR, w.LamS)
+			}
+		case OpExcept:
+			if w.LamR != nil {
+				keep, lam = true, lineage.AndNot(w.LamR, w.LamS)
+			}
+		}
+		if !keep {
+			continue
+		}
+		t := relation.NewDerivedLazy(w.Fact, lam, w.Interval())
+		if !c.opts.LazyProb {
+			t.ComputeProb()
+		}
+		return t, true
+	}
+}
+
+// Materialize drains a cursor into a relation — the single point where a
+// cursor plan gives up its O(tree depth) memory bound.
+func Materialize(c Cursor) *relation.Relation {
+	out := relation.New(c.Schema())
+	for {
+		t, ok := c.Next()
+		if !ok {
+			return out
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+}

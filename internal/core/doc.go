@@ -27,6 +27,14 @@
 //     exclusive ownership (the sweep's lazy key caching would race on
 //     shared relations — see internal/engine for the cloning rules).
 //
+// The pipeline also exists in pull-based streaming form: Cursor is a
+// tuple stream in canonical order, ScanCursor streams a sorted relation,
+// and OpCursor runs the advancer directly over two child cursors — the
+// materializing drivers are themselves Materialize(OpCursor), so the two
+// executors share one λ-filter/λ-function implementation. Cursor plans
+// (built by internal/query) evaluate whole query trees in O(tree depth)
+// additional memory.
+//
 // Paper map: Def. 3 (the three TP set operations), Alg. 1 (Advancer),
 // Algs. 2–4 (drivers), Fig. 5 (pipeline), Example 3 (window stream). See
 // docs/PAPER_MAP.md.

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"github.com/tpset/tpset/internal/lineage"
 	"github.com/tpset/tpset/internal/relation"
 )
 
@@ -86,12 +85,17 @@ func prepare(r, s *relation.Relation, opts Options) (rr, ss *relation.Relation, 
 	return rr, ss, nil
 }
 
-func emit(out *relation.Relation, w Window, lam *lineage.Expr, opts Options) {
-	t := relation.NewDerivedLazy(w.Fact, lam, w.Interval())
-	if !opts.LazyProb {
-		t.ComputeProb()
+// driver runs one set operation to completion through the streaming
+// OpCursor: prepare (schema check, optional validation, sort), then drain
+// the cursor into a materialized relation. The materializing drivers and
+// the streaming execution layer therefore share one λ-filter/λ-function
+// implementation and cannot diverge.
+func driver(op Op, r, s *relation.Relation, opts Options) (*relation.Relation, error) {
+	rr, ss, err := prepare(r, s, opts)
+	if err != nil {
+		return nil, err
 	}
-	out.Tuples = append(out.Tuples, t)
+	return Materialize(newOpCursorSorted(op, rr, ss, OutSchema(op, r, s), opts)), nil
 }
 
 // Intersect computes r ∩Tp s (Algorithm 2): at each time point, the facts
@@ -100,22 +104,7 @@ func emit(out *relation.Relation, w Window, lam *lineage.Expr, opts Options) {
 // one side can no longer contribute a valid tuple, no further window can
 // pass the λ-filter λr ≠ null ∧ λs ≠ null.
 func Intersect(r, s *relation.Relation, opts Options) (*relation.Relation, error) {
-	rr, ss, err := prepare(r, s, opts)
-	if err != nil {
-		return nil, err
-	}
-	out := relation.New(outSchema(r, s, "∩Tp"))
-	a := NewAdvancer(rr, ss)
-	for !a.RExhausted() && !a.SExhausted() {
-		w, ok := a.Next()
-		if !ok {
-			break
-		}
-		if w.LamR != nil && w.LamS != nil { // λ-filter
-			emit(out, w, lineage.And(w.LamR, w.LamS), opts) // λ-function
-		}
-	}
-	return out, nil
+	return driver(OpIntersect, r, s, opts)
 }
 
 // Union computes r ∪Tp s (Algorithm 3): at each time point, the facts with
@@ -123,22 +112,7 @@ func Intersect(r, s *relation.Relation, opts Options) (*relation.Relation, error
 // candidate window passes the filter (the advancer never emits a window
 // without a valid tuple), so the loop drains both inputs.
 func Union(r, s *relation.Relation, opts Options) (*relation.Relation, error) {
-	rr, ss, err := prepare(r, s, opts)
-	if err != nil {
-		return nil, err
-	}
-	out := relation.New(outSchema(r, s, "∪Tp"))
-	a := NewAdvancer(rr, ss)
-	for {
-		w, ok := a.Next()
-		if !ok {
-			break
-		}
-		if w.LamR != nil || w.LamS != nil { // λ-filter
-			emit(out, w, lineage.Or(w.LamR, w.LamS), opts) // λ-function
-		}
-	}
-	return out, nil
+	return driver(OpUnion, r, s, opts)
 }
 
 // Except computes r −Tp s (Algorithm 4): at each time point, the facts with
@@ -148,34 +122,21 @@ func Union(r, s *relation.Relation, opts Options) (*relation.Relation, error) {
 // with probability < 1). Windows are consumed until the left input is
 // exhausted.
 func Except(r, s *relation.Relation, opts Options) (*relation.Relation, error) {
-	rr, ss, err := prepare(r, s, opts)
-	if err != nil {
-		return nil, err
-	}
-	out := relation.New(outSchema(r, s, "−Tp"))
-	a := NewAdvancer(rr, ss)
-	for !a.RExhausted() {
-		w, ok := a.Next()
-		if !ok {
-			break
-		}
-		if w.LamR != nil { // λ-filter
-			emit(out, w, lineage.AndNot(w.LamR, w.LamS), opts) // λ-function
-		}
-	}
-	return out, nil
+	return driver(OpExcept, r, s, opts)
 }
 
-func outSchema(r, s *relation.Relation, opSym string) relation.Schema {
-	name := r.Schema.Name + opSym + s.Schema.Name
-	return relation.Schema{Name: name, Attrs: r.Schema.Attrs}
+// OutSchemaOf composes the output schema of op over two input schemas:
+// the concatenated name and the left input's attributes. Cursor plans use
+// it to carry schemas without materialized relations.
+func OutSchemaOf(op Op, ls, rs relation.Schema) relation.Schema {
+	return relation.Schema{Name: ls.Name + op.String() + rs.Name, Attrs: ls.Attrs}
 }
 
 // OutSchema returns the output schema op(r, s) produces. Exported for the
 // partition-parallel engine, whose merged result must carry the same
 // schema as the sequential drivers.
 func OutSchema(op Op, r, s *relation.Relation) relation.Schema {
-	return outSchema(r, s, op.String())
+	return OutSchemaOf(op, r.Schema, s.Schema)
 }
 
 // Windows runs the advancer to completion and returns every candidate

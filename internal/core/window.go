@@ -35,10 +35,62 @@ func (w Window) String() string {
 	return fmt.Sprintf("(%s,[%d,%d), %s, %s)", w.Fact, w.WinTs, w.WinTe, w.LamR, w.LamS)
 }
 
+// tupleSource is the advancer's view of one input: a one-tuple-lookahead
+// stream in (fact, Ts) order. Two implementations exist — a slice over a
+// sorted relation (the classic materialized input) and a buffered pull
+// from a Cursor (the streaming execution path). peek returns the next
+// unconsumed tuple (nil when drained) and is stable until pop; pop
+// consumes it. The pointer peek returns may be invalidated by pop, so
+// callers that need the tuple beyond the next pop must copy it.
+type tupleSource interface {
+	peek() *relation.Tuple
+	pop()
+}
+
+// sliceSource streams a sorted tuple slice.
+type sliceSource struct {
+	ts []relation.Tuple
+	i  int
+}
+
+func (s *sliceSource) peek() *relation.Tuple {
+	if s.i < len(s.ts) {
+		return &s.ts[s.i]
+	}
+	return nil
+}
+
+func (s *sliceSource) pop() { s.i++ }
+
+// cursorSource streams a Cursor through a one-tuple buffer.
+type cursorSource struct {
+	c         Cursor
+	buf       relation.Tuple
+	has, done bool
+}
+
+func (s *cursorSource) peek() *relation.Tuple {
+	if !s.has && !s.done {
+		t, ok := s.c.Next()
+		if !ok {
+			s.done = true
+			return nil
+		}
+		s.buf, s.has = t, true
+	}
+	if !s.has {
+		return nil
+	}
+	return &s.buf
+}
+
+func (s *cursorSource) pop() { s.has = false }
+
 // Advancer is the lineage-aware window advancer. It carries the status
 // structure of Algorithm 1: the boundary of the previous window, the fact
 // currently being processed, the currently valid tuple of each input
-// relation, and cursors over the two (fact, Ts)-sorted inputs.
+// relation, and one-tuple-lookahead cursors over the two (fact, Ts)-sorted
+// inputs.
 //
 // Each call to Next produces the next candidate window in (fact, time)
 // order, or ok=false when both relations are exhausted. The advancer never
@@ -46,45 +98,48 @@ func (w Window) String() string {
 // boundary coincides with a start or end point of an input tuple, so the
 // number of windows is bounded by Proposition 1 (≤ nr + ns − fd candidate
 // windows for nr, ns start/end points and fd distinct facts).
+//
+// Beyond the two lookahead buffers and the two currently valid tuples, the
+// advancer holds no per-input state — this is the O(1)-additional-space
+// property of §IV that the streaming execution layer (NewStreamAdvancer,
+// OpCursor) relies on.
 type Advancer struct {
-	r, s   []relation.Tuple // sorted inputs
-	ri, si int              // cursors: next unprocessed tuple
+	r, s tupleSource
 
 	prevWinTe interval.Time
 	currFact  string
 	currFactV relation.Fact
 	rValid    *relation.Tuple
 	sValid    *relation.Tuple
+	// Storage backing rValid/sValid: the valid tuple must survive pops of
+	// the source it was peeked from, so admission copies it here.
+	rValidBuf relation.Tuple
+	sValidBuf relation.Tuple
 }
 
 // NewAdvancer returns an advancer over two relations that must already be
 // sorted by (fact, Ts) — the sort step of Fig. 5. Sortedness is a
 // precondition; relation.Relation.Sort establishes it.
 func NewAdvancer(r, s *relation.Relation) *Advancer {
-	return &Advancer{r: r.Tuples, s: s.Tuples, prevWinTe: -1}
+	return &Advancer{r: &sliceSource{ts: r.Tuples}, s: &sliceSource{ts: s.Tuples}, prevWinTe: -1}
+}
+
+// NewStreamAdvancer returns an advancer pulling from two cursors that must
+// yield tuples in canonical (fact, Ts) order — the streaming form of the
+// sort precondition. Operator cursors and relation scans both satisfy it,
+// so advancers stack: a whole query tree evaluates with one lookahead
+// buffer per tree edge and no materialized intermediates.
+func NewStreamAdvancer(r, s Cursor) *Advancer {
+	return &Advancer{r: &cursorSource{c: r}, s: &cursorSource{c: s}, prevWinTe: -1}
 }
 
 // RExhausted reports whether the left input is fully consumed: no upcoming
 // tuple and no currently valid tuple. Except uses it as its termination
 // condition (windows beyond this point can never satisfy λr ≠ null).
-func (a *Advancer) RExhausted() bool { return a.ri >= len(a.r) && a.rValid == nil }
+func (a *Advancer) RExhausted() bool { return a.r.peek() == nil && a.rValid == nil }
 
 // SExhausted is the right-hand counterpart of RExhausted.
-func (a *Advancer) SExhausted() bool { return a.si >= len(a.s) && a.sValid == nil }
-
-func (a *Advancer) peekR() *relation.Tuple {
-	if a.ri < len(a.r) {
-		return &a.r[a.ri]
-	}
-	return nil
-}
-
-func (a *Advancer) peekS() *relation.Tuple {
-	if a.si < len(a.s) {
-		return &a.s[a.si]
-	}
-	return nil
-}
+func (a *Advancer) SExhausted() bool { return a.s.peek() == nil && a.sValid == nil }
 
 // Next produces the next lineage-aware temporal window. It implements
 // Algorithm 1 of the paper with two repairs that the pseudocode glosses
@@ -94,7 +149,7 @@ func (a *Advancer) peekS() *relation.Tuple {
 // be meaningless), and (ii) the right window boundary only considers
 // upcoming tuples of the fact currently being processed.
 func (a *Advancer) Next() (Window, bool) {
-	r, s := a.peekR(), a.peekS()
+	r, s := a.r.peek(), a.s.peek()
 
 	var winTs interval.Time
 	if a.rValid == nil && a.sValid == nil {
@@ -141,16 +196,20 @@ func (a *Advancer) Next() (Window, bool) {
 		winTs = a.prevWinTe
 	}
 
-	// Admit upcoming tuples that become valid exactly at winTs.
+	// Admit upcoming tuples that become valid exactly at winTs. The tuple
+	// is copied out of the source's lookahead buffer: it must stay valid
+	// after the pop, which may overwrite the buffer on the next peek.
 	if r != nil && r.Key() == a.currFact && r.T.Ts == winTs {
-		a.rValid = r
-		a.ri++
-		r = a.peekR()
+		a.rValidBuf = *r
+		a.rValid = &a.rValidBuf
+		a.r.pop()
+		r = a.r.peek()
 	}
 	if s != nil && s.Key() == a.currFact && s.T.Ts == winTs {
-		a.sValid = s
-		a.si++
-		s = a.peekS()
+		a.sValidBuf = *s
+		a.sValid = &a.sValidBuf
+		a.s.pop()
+		s = a.s.peek()
 	}
 
 	// The right boundary is the earliest of: end points of the valid

@@ -1,6 +1,8 @@
 package csvio
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -11,27 +13,56 @@ import (
 	"github.com/tpset/tpset/internal/relation"
 )
 
+// StreamWriter writes a relation's tuples as CSV rows one at a time, so a
+// cursor plan can be persisted while it streams — tuples reach the writer
+// as they are produced, without a materialized relation in between
+// (cmd/tpquery -stream). NewStreamWriter emits the header; WriteTuple
+// appends one row; Close flushes. Write is implemented on top of it.
+type StreamWriter struct {
+	cw  *csv.Writer
+	row []string
+}
+
+// NewStreamWriter starts a CSV stream for tuples of the given schema,
+// writing the header immediately.
+func NewStreamWriter(w io.Writer, schema relation.Schema) (*StreamWriter, error) {
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, schema.Attrs...), "lineage", "ts", "te", "p")
+	if err := cw.Write(header); err != nil {
+		return nil, err
+	}
+	return &StreamWriter{cw: cw, row: make([]string, 0, len(header))}, nil
+}
+
+// WriteTuple appends one tuple row.
+func (sw *StreamWriter) WriteTuple(t *relation.Tuple) error {
+	sw.row = append(append(sw.row[:0], t.Fact...),
+		t.Lineage.String(),
+		strconv.FormatInt(t.T.Ts, 10),
+		strconv.FormatInt(t.T.Te, 10),
+		strconv.FormatFloat(t.Prob, 'g', -1, 64),
+	)
+	return sw.cw.Write(sw.row)
+}
+
+// Close flushes buffered rows to the underlying writer.
+func (sw *StreamWriter) Close() error {
+	sw.cw.Flush()
+	return sw.cw.Error()
+}
+
 // Write stores r as CSV.
 func Write(w io.Writer, r *relation.Relation) error {
-	cw := csv.NewWriter(w)
-	header := append(append([]string{}, r.Schema.Attrs...), "lineage", "ts", "te", "p")
-	if err := cw.Write(header); err != nil {
+	sw, err := NewStreamWriter(w, r.Schema)
+	if err != nil {
 		return err
 	}
 	for i := range r.Tuples {
-		t := &r.Tuples[i]
-		row := append(append([]string{}, t.Fact...),
-			t.Lineage.String(),
-			strconv.FormatInt(t.T.Ts, 10),
-			strconv.FormatInt(t.T.Te, 10),
-			strconv.FormatFloat(t.Prob, 'g', -1, 64),
-		)
-		if err := cw.Write(row); err != nil {
+		if err := sw.WriteTuple(&r.Tuples[i]); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return sw.Close()
 }
 
 // WriteFile stores r at path.
@@ -47,6 +78,10 @@ func WriteFile(path string, r *relation.Relation) error {
 	return f.Close()
 }
 
+// utf8BOM is the UTF-8 encoding of U+FEFF, which Windows tools commonly
+// prepend to exported CSV files.
+var utf8BOM = []byte{0xEF, 0xBB, 0xBF}
+
 // Read loads a relation named name from CSV. Every row becomes a base tuple
 // whose lineage variable is the row's lineage column (assumed to be a
 // unique identifier within the file). The lineage column must be non-empty
@@ -55,8 +90,18 @@ func WriteFile(path string, r *relation.Relation) error {
 // than silently becoming an opaque variable. The loaded relation is
 // checked for the model's duplicate-freeness invariant: two rows with the
 // same fact over overlapping intervals are an error.
+//
+// Windows-exported CSVs are accepted as-is: a leading UTF-8 BOM is
+// stripped (it would otherwise become part of the first header name) and
+// CRLF line endings are handled by the underlying csv reader.
 func Read(rd io.Reader, name string) (*relation.Relation, error) {
-	cr := csv.NewReader(rd)
+	br := bufio.NewReader(rd)
+	if head, err := br.Peek(len(utf8BOM)); err == nil && bytes.Equal(head, utf8BOM) {
+		if _, err := br.Discard(len(utf8BOM)); err != nil {
+			return nil, fmt.Errorf("csvio: skipping BOM: %w", err)
+		}
+	}
+	cr := csv.NewReader(br)
 	cr.FieldsPerRecord = -1
 	header, err := cr.Read()
 	if err != nil {

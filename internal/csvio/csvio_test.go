@@ -100,6 +100,71 @@ func TestReadAcceptsRenderedFormulasAndAdjacency(t *testing.T) {
 	}
 }
 
+// TestReadWindowsExportedCSV accepts a UTF-8 BOM and CRLF line endings —
+// the format Windows tools export — and round-trips it against the same
+// data in the native format.
+func TestReadWindowsExportedCSV(t *testing.T) {
+	var native bytes.Buffer
+	if err := Write(&native, sample()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Read(bytes.NewReader(native.Bytes()), "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	windows := append([]byte{0xEF, 0xBB, 0xBF},
+		[]byte(strings.ReplaceAll(native.String(), "\n", "\r\n"))...)
+	got, err := Read(bytes.NewReader(windows), "r")
+	if err != nil {
+		t.Fatalf("BOM+CRLF input rejected: %v", err)
+	}
+	if d := relation.Diff(got, want); d != "" {
+		t.Fatalf("BOM+CRLF round trip: %s", d)
+	}
+	// The BOM must not leak into the first header name.
+	if got.Schema.Attrs[0] != "Product" {
+		t.Fatalf("first attribute %q, want %q", got.Schema.Attrs[0], "Product")
+	}
+
+	// BOM alone (LF endings) and CRLF alone are each accepted too.
+	bomOnly := append([]byte{0xEF, 0xBB, 0xBF}, native.Bytes()...)
+	if _, err := Read(bytes.NewReader(bomOnly), "r"); err != nil {
+		t.Fatalf("BOM-only input rejected: %v", err)
+	}
+	crlfOnly := strings.ReplaceAll(native.String(), "\n", "\r\n")
+	if _, err := Read(strings.NewReader(crlfOnly), "r"); err != nil {
+		t.Fatalf("CRLF-only input rejected: %v", err)
+	}
+}
+
+// TestStreamWriterMatchesWrite pins the streaming writer against the
+// one-shot Write: identical bytes, tuple by tuple.
+func TestStreamWriterMatchesWrite(t *testing.T) {
+	r := datagen.Synthetic(datagen.SyntheticConfig{
+		Name: "g", NumTuples: 200, NumFacts: 7, MaxLen: 5, MaxGap: 2, Seed: 9,
+	})
+	var oneShot, streamed bytes.Buffer
+	if err := Write(&oneShot, r); err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewStreamWriter(&streamed, r.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.Tuples {
+		if err := sw.WriteTuple(&r.Tuples[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if oneShot.String() != streamed.String() {
+		t.Fatal("StreamWriter output differs from Write")
+	}
+}
+
 func TestFileRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "r.csv")

@@ -17,7 +17,11 @@
 // interval must be non-empty [ts, te), probabilities must lie in (0, 1],
 // the lineage column must be non-empty syntactically valid lineage, and
 // the loaded relation must be duplicate-free (Def. 1) — two rows with the
-// same fact over overlapping intervals are rejected.
+// same fact over overlapping intervals are rejected. Windows-exported
+// files are accepted as-is: a leading UTF-8 BOM is stripped and CRLF line
+// endings are handled. StreamWriter writes rows one tuple at a time, so a
+// streaming cursor plan can be persisted without materializing its
+// result.
 //
 // Paper map: the persistence layer feeding the §VII experiments and the
 // tpquery/tpgen/tpserve CLIs; no direct counterpart in the paper. See

@@ -25,6 +25,13 @@
 // service (internal/server) drives EvalWith directly with per-request
 // options.
 //
+// The streaming counterpart is Cursor/EvalCursor: the leaf relations are
+// partitioned once, the whole query tree is evaluated per shard as an
+// independent cursor plan on its own goroutine, and a k-way merge over
+// bounded channels restores canonical order incrementally — no
+// intermediate relations, same bit-identical output (see DESIGN.md,
+// "Streaming execution").
+//
 // Concurrency invariants:
 //
 //   - Input relations are strictly read-only; partitioning recomputes

@@ -1,0 +1,224 @@
+package engine
+
+import (
+	"sync"
+
+	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/query"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// Streaming (cursor-plan) execution. The engine composes with the cursor
+// layer by partitioning the *leaf* relations once, by fact hash — exactly
+// the Apply partitioning — and evaluating the whole query tree per
+// partition as an independent streaming cursor plan: every TP set
+// operation and selection is per-fact, so the query restricted to one
+// fact partition equals the restriction of the query's result to those
+// facts. Shard plans run on their own goroutines, feeding bounded
+// channels, and a k-way merge over the channel heads (relation.Less, the
+// Apply merge comparator) restores global canonical order incrementally.
+//
+// Memory: each shard plan is O(tree depth); the one materialized cost is
+// the partitioned copy of the leaf relations (O(input), paid before any
+// output). Inputs below the partitioning threshold skip that too and run
+// the purely sequential cursor plan, which is O(tree depth) end to end.
+
+// streamChanBuf is the per-shard channel buffer: enough to decouple
+// producer and consumer bursts, small enough that a stalled consumer
+// bounds the tuples in flight to shards × streamChanBuf.
+const streamChanBuf = 128
+
+// StreamCursor is a core.Cursor over a whole query tree, evaluated
+// sequentially or partition-parallel. Callers that do not drain it must
+// Close it to release the shard goroutines; Close is idempotent and safe
+// after full drains too.
+type StreamCursor struct {
+	schema relation.Schema
+	next   func() (relation.Tuple, bool)
+	stop   func()
+}
+
+// Schema returns the plan's output schema.
+func (c *StreamCursor) Schema() relation.Schema { return c.schema }
+
+// Next returns the next result tuple in canonical (fact, Ts, Te) order.
+func (c *StreamCursor) Next() (relation.Tuple, bool) { return c.next() }
+
+// Close releases the plan's resources (shard producer goroutines). After
+// Close, Next must not be called again.
+func (c *StreamCursor) Close() {
+	if c.stop != nil {
+		c.stop()
+	}
+}
+
+// Cursor compiles the query into a streaming plan over db. With an input
+// large enough to partition and a worker budget above one, the plan
+// evaluates fact-hash shards of the query concurrently and merges their
+// ordered outputs on the fly; otherwise it is the sequential cursor plan.
+// Either way the stream is bit-identical to Eval's result, in the same
+// canonical order, with no intermediate relation materialized.
+func (e *Engine) Cursor(n query.Node, db map[string]*relation.Relation, opts core.Options) (*StreamCursor, error) {
+	names := query.Relations(n)
+	total := 0
+	for _, name := range names {
+		if r, ok := db[name]; ok {
+			total += r.Len()
+		}
+	}
+	shards := e.shardCount(total)
+	if shards < 2 {
+		c, err := query.BuildCursor(n, db, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &StreamCursor{schema: c.Schema(), next: c.Next}, nil
+	}
+
+	if opts.Validate {
+		for _, name := range names {
+			if r, ok := db[name]; ok {
+				if err := r.ValidateDuplicateFree(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		opts.Validate = false // validated once; not per shard
+	}
+
+	// Partition every referenced relation; shard i of the database is the
+	// i-th partition of each. Fact groups stay whole within one shard, so
+	// the shard plans cover pairwise disjoint fact sets. The partitions
+	// are freshly built and private, so unsorted inputs are handled by
+	// sorting each shard's partitions in place — on the shard's own
+	// goroutine, parallelizing the dominant sort cost exactly like
+	// Apply — rather than letting BuildCursor clone every leaf a second
+	// time (partitioning is stable, so sorted inputs yield sorted shards
+	// and the sort pass is skipped entirely).
+	shardDBs := make([]map[string]*relation.Relation, shards)
+	for i := range shardDBs {
+		shardDBs[i] = make(map[string]*relation.Relation, len(names))
+	}
+	for _, name := range names {
+		r, ok := db[name]
+		if !ok {
+			// Let BuildCursor below produce the canonical error.
+			continue
+		}
+		for i, part := range partition(r, shards) {
+			shardDBs[i][name] = part
+		}
+	}
+	needSort := !opts.AssumeSorted
+	opts.AssumeSorted = true // shard partitions are engine-private
+
+	// Build every shard plan up front so plan errors surface synchronously.
+	curs := make([]core.Cursor, shards)
+	for i := range curs {
+		c, err := query.BuildCursor(n, shardDBs[i], opts)
+		if err != nil {
+			return nil, err
+		}
+		curs[i] = c
+	}
+
+	// Producers run on dedicated goroutines rather than the engine's
+	// pooled semaphore: the merge needs every shard's head tuple, so
+	// admitting only Workers shards at a time could deadlock (a running
+	// shard blocks on its full channel while an unstarted shard starves
+	// the merge). The shard count is already sized from the worker budget,
+	// and the bounded channels provide backpressure.
+	chans := make([]chan relation.Tuple, shards)
+	done := make(chan struct{})
+	for i := range curs {
+		ch := make(chan relation.Tuple, streamChanBuf)
+		chans[i] = ch
+		go func(c core.Cursor, sdb map[string]*relation.Relation, ch chan relation.Tuple) {
+			defer close(ch)
+			if needSort {
+				// Scans hold the partition pointers, so sorting in place
+				// before the first Next is safe and feeds them sorted.
+				for _, part := range sdb {
+					part.Sort()
+				}
+			}
+			for {
+				t, ok := c.Next()
+				if !ok {
+					return
+				}
+				select {
+				case ch <- t:
+				case <-done:
+					return
+				}
+			}
+		}(curs[i], shardDBs[i], ch)
+	}
+
+	m := &mergeStream{chans: chans}
+	var once sync.Once
+	return &StreamCursor{
+		schema: curs[0].Schema(),
+		next:   m.next,
+		stop:   func() { once.Do(func() { close(done) }) },
+	}, nil
+}
+
+// mergeStream k-way merges the shard channels by relation.Less. Each
+// shard stream is itself in canonical order and the shards' fact sets are
+// disjoint, so the merged sequence is the one global canonical order —
+// exactly what mergeSorted produces for materialized shard outputs. A
+// linear scan over the heads suffices for the engine's modest shard
+// counts (cf. mergeSorted).
+type mergeStream struct {
+	chans  []chan relation.Tuple
+	heads  []relation.Tuple
+	primed bool
+}
+
+func (m *mergeStream) next() (relation.Tuple, bool) {
+	if !m.primed {
+		m.primed = true
+		live := m.chans[:0]
+		for _, ch := range m.chans {
+			if t, ok := <-ch; ok {
+				live = append(live, ch)
+				m.heads = append(m.heads, t)
+			}
+		}
+		m.chans = live
+	}
+	if len(m.chans) == 0 {
+		return relation.Tuple{}, false
+	}
+	best := 0
+	for i := 1; i < len(m.chans); i++ {
+		if relation.Less(&m.heads[i], &m.heads[best]) {
+			best = i
+		}
+	}
+	out := m.heads[best]
+	if t, ok := <-m.chans[best]; ok {
+		m.heads[best] = t
+	} else {
+		last := len(m.chans) - 1
+		m.chans[best] = m.chans[last]
+		m.heads[best] = m.heads[last]
+		m.chans = m.chans[:last]
+		m.heads = m.heads[:last]
+	}
+	return out, true
+}
+
+// EvalCursor evaluates the query through the streaming plan and
+// materializes only the final result — the cursor-executor form of
+// EvalWith, used by the query service's non-streaming path.
+func (e *Engine) EvalCursor(n query.Node, db map[string]*relation.Relation, opts core.Options) (*relation.Relation, error) {
+	c, err := e.Cursor(n, db, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return core.Materialize(c), nil
+}

@@ -1,0 +1,110 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// Cursor plan building: a query tree compiles into a tree of core.Cursor
+// values — relation scans at the leaves, selection filters and streaming
+// set-operation cursors above them — that evaluates the whole query in
+// O(tree depth) additional memory. The advancer of every set operation
+// pulls directly from its children's streams; no node materializes an
+// intermediate relation. Draining the root cursor (EvaluateCursor) yields
+// output bit-identical to the materializing evaluator: same tuples, same
+// lineage, same probabilities, same canonical order.
+
+// BuildCursor compiles the query into a streaming cursor plan over the
+// named relations in db. All plan errors (unknown relation, incompatible
+// schemas, unknown attribute) surface here, at build time: cursors
+// themselves cannot fail. Options apply to every set operation of the
+// tree; AssumeSorted refers to the db's leaf relations — when unset,
+// every leaf is cloned and sorted at build time (streams themselves are
+// always sorted by the cursor ordering invariant). Validate checks each
+// referenced leaf for duplicate-freeness once.
+func BuildCursor(n Node, db map[string]*relation.Relation, opts core.Options) (core.Cursor, error) {
+	switch q := n.(type) {
+	case *Rel:
+		r, ok := db[q.Name]
+		if !ok {
+			return nil, fmt.Errorf("query: unknown relation %q (have %s)",
+				q.Name, strings.Join(DBKeys(db), ", "))
+		}
+		if opts.Validate {
+			if err := r.ValidateDuplicateFree(); err != nil {
+				return nil, err
+			}
+		}
+		if !opts.AssumeSorted {
+			r = r.Clone()
+			r.Sort()
+		}
+		return core.NewScanCursor(r), nil
+	case *Select:
+		in, err := BuildCursor(q.Input, db, opts)
+		if err != nil {
+			return nil, err
+		}
+		schema := in.Schema()
+		idx := -1
+		for i, a := range schema.Attrs {
+			if a == q.Attr {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("query: relation %q has no attribute %q (have %s)",
+				schema.Name, q.Attr, strings.Join(schema.Attrs, ", "))
+		}
+		return &selectCursor{in: in, idx: idx, value: q.Value}, nil
+	case *SetOp:
+		l, err := BuildCursor(q.Left, db, opts)
+		if err != nil {
+			return nil, err
+		}
+		r, err := BuildCursor(q.Right, db, opts)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewOpCursor(q.Op, l, r, opts)
+	}
+	return nil, fmt.Errorf("query: unknown node type %T", n)
+}
+
+// EvaluateCursor executes the query through a cursor plan and
+// materializes only the final result — the streaming counterpart of
+// EvaluateWith(n, db, AlgoLAWA).
+func EvaluateCursor(n Node, db map[string]*relation.Relation, opts core.Options) (*relation.Relation, error) {
+	c, err := BuildCursor(n, db, opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.Materialize(c), nil
+}
+
+// selectCursor streams σ[Attr=Value] over its input. Filtering preserves
+// order and duplicate-freeness, so the cursor ordering invariant holds
+// trivially.
+type selectCursor struct {
+	in    core.Cursor
+	idx   int
+	value string
+}
+
+func (c *selectCursor) Schema() relation.Schema { return c.in.Schema() }
+
+func (c *selectCursor) Next() (relation.Tuple, bool) {
+	for {
+		t, ok := c.in.Next()
+		if !ok {
+			return relation.Tuple{}, false
+		}
+		if c.idx < len(t.Fact) && t.Fact[c.idx] == c.value {
+			return t, true
+		}
+	}
+}

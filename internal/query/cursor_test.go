@@ -1,0 +1,159 @@
+package query_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/interval"
+	"github.com/tpset/tpset/internal/query"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// randomDB builds k random duplicate-free relations over a small shared
+// fact pool, in the style of internal/core's cross-validation machinery:
+// the distribution exercises gaps, adjacency, containment and
+// exact-boundary coincidences.
+func randomDB(rng *rand.Rand, k, maxTuples int) map[string]*relation.Relation {
+	facts := []string{"alpha", "beta", "gamma", "delta"}
+	db := make(map[string]*relation.Relation, k)
+	for ri := 0; ri < k; ri++ {
+		name := fmt.Sprintf("r%d", ri)
+		rel := relation.New(relation.NewSchema(name, "F"))
+		n := 1 + rng.Intn(maxTuples)
+		cursors := make(map[string]interval.Time)
+		for i := 0; i < n; i++ {
+			f := facts[rng.Intn(len(facts))]
+			ts := cursors[f] + interval.Time(rng.Intn(4))
+			te := ts + 1 + interval.Time(rng.Intn(5))
+			cursors[f] = te
+			rel.AddBase(relation.NewFact(f), fmt.Sprintf("%s_%d", name, i), ts, te, 0.05+0.9*rng.Float64())
+		}
+		rel.Sort()
+		db[name] = rel
+	}
+	return db
+}
+
+// randomTree builds a random query tree of the given leaf count over the
+// db's relation names, with occasional selections sprinkled in.
+func randomTree(rng *rand.Rand, names []string, leaves int) query.Node {
+	var build func(leaves int) query.Node
+	build = func(leaves int) query.Node {
+		var n query.Node
+		if leaves <= 1 {
+			n = &query.Rel{Name: names[rng.Intn(len(names))]}
+		} else {
+			l := 1 + rng.Intn(leaves-1)
+			n = &query.SetOp{
+				Op:    core.Op(rng.Intn(3)),
+				Left:  build(l),
+				Right: build(leaves - l),
+			}
+		}
+		if rng.Intn(4) == 0 {
+			vals := []string{"alpha", "beta", "gamma", "delta"}
+			n = &query.Select{Attr: "F", Value: vals[rng.Intn(len(vals))], Input: n}
+		}
+		return n
+	}
+	return build(leaves)
+}
+
+// requireBitIdentical asserts that two relations are identical tuple for
+// tuple, in order — same facts, intervals, rendered lineage and
+// bit-equal probabilities — which is strictly stronger than
+// relation.Equal's order-insensitive comparison.
+func requireBitIdentical(t *testing.T, ctx string, got, want *relation.Relation) {
+	t.Helper()
+	if got.Schema.Name != want.Schema.Name {
+		t.Fatalf("%s: schema %q, want %q", ctx, got.Schema.Name, want.Schema.Name)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: cardinality %d, want %d\ngot=%s\nwant=%s", ctx, got.Len(), want.Len(), got, want)
+	}
+	for i := range want.Tuples {
+		g, w := &got.Tuples[i], &want.Tuples[i]
+		if !g.Fact.Equal(w.Fact) || g.T != w.T ||
+			g.Lineage.String() != w.Lineage.String() || g.Prob != w.Prob {
+			t.Fatalf("%s: tuple %d: got %s, want %s", ctx, i, g, w)
+		}
+	}
+}
+
+// TestCursorExecutorMatchesEvaluator cross-validates the streaming cursor
+// executor against the materializing evaluator on ~100 randomized query
+// trees: the output must be bit-identical — same tuples, same lineage,
+// same probabilities, same canonical order.
+func TestCursorExecutorMatchesEvaluator(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	for trial := 0; trial < 120; trial++ {
+		db := randomDB(rng, 2+rng.Intn(4), 14)
+		names := query.DBKeys(db)
+		tree := randomTree(rng, names, 1+rng.Intn(5))
+		want, err := query.EvaluateWith(tree, db, query.AlgoLAWA)
+		if err != nil {
+			t.Fatalf("trial %d (%s): evaluator: %v", trial, tree, err)
+		}
+		got, err := query.EvaluateCursor(tree, db, core.Options{})
+		if err != nil {
+			t.Fatalf("trial %d (%s): cursor: %v", trial, tree, err)
+		}
+		requireBitIdentical(t, fmt.Sprintf("trial %d (%s)", trial, tree), got, want)
+
+		// AssumeSorted over the pre-sorted db must agree too (the query
+		// service path).
+		got2, err := query.EvaluateCursor(tree, db, core.Options{AssumeSorted: true})
+		if err != nil {
+			t.Fatalf("trial %d (%s): cursor assume-sorted: %v", trial, tree, err)
+		}
+		requireBitIdentical(t, fmt.Sprintf("trial %d assume-sorted (%s)", trial, tree), got2, want)
+	}
+}
+
+// TestCursorLazyProbMatchesEvaluator pins the LazyProb knob: the cursor
+// path must leave probabilities unvaluated exactly like the drivers do.
+func TestCursorLazyProbMatchesEvaluator(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	for trial := 0; trial < 30; trial++ {
+		db := randomDB(rng, 3, 12)
+		tree := randomTree(rng, query.DBKeys(db), 3)
+		got, err := query.EvaluateCursor(tree, db, core.Options{LazyProb: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got.Tuples {
+			tp := &got.Tuples[i]
+			if _, isOp := tree.(*query.SetOp); isOp && tp.Prob != 0 {
+				t.Fatalf("trial %d: lazy tuple %d carries probability %v", trial, i, tp.Prob)
+			}
+		}
+		eager, err := query.EvaluateCursor(tree, db, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.ComputeProbs()
+		requireBitIdentical(t, fmt.Sprintf("trial %d lazy+ComputeProbs (%s)", trial, tree), got, eager)
+	}
+}
+
+// TestBuildCursorErrors pins the build-time error surface: unknown
+// relations and unknown selection attributes fail at plan construction,
+// with the evaluator's error text.
+func TestBuildCursorErrors(t *testing.T) {
+	db := randomDB(rand.New(rand.NewSource(50)), 2, 5)
+	if _, err := query.BuildCursor(&query.Rel{Name: "zz"}, db, core.Options{}); err == nil {
+		t.Fatal("unknown relation must fail at build time")
+	}
+	sel := &query.Select{Attr: "Nope", Value: "x", Input: &query.Rel{Name: "r0"}}
+	if _, err := query.BuildCursor(sel, db, core.Options{}); err == nil {
+		t.Fatal("unknown attribute must fail at build time")
+	}
+	mixed := &query.SetOp{Op: core.OpUnion, Left: &query.Rel{Name: "r0"}, Right: &query.Rel{Name: "wide"}}
+	wide := relation.New(relation.NewSchema("wide", "A", "B"))
+	db["wide"] = wide
+	if _, err := query.BuildCursor(mixed, db, core.Options{}); err == nil {
+		t.Fatal("incompatible schemas must fail at build time")
+	}
+}

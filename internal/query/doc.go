@@ -18,7 +18,11 @@
 //   - an evaluator with pluggable execution algorithms, plus the
 //     registration hook through which the partition-parallel engine
 //     replaces the sequential post-order walk (the indirection breaks the
-//     query→engine→query import cycle).
+//     query→engine→query import cycle);
+//   - the cursor plan builder (BuildCursor/EvaluateCursor): a query tree
+//     compiles into a tree of core.Cursor values that evaluates in
+//     O(tree depth) memory with no intermediate relations, bit-identical
+//     to the materializing evaluator.
 //
 // Invariant: Node trees are immutable after parsing; rewrites build new
 // trees. Evaluation never mutates input relations.

@@ -86,7 +86,11 @@ func (c *Cache) Get(key string) (*relation.Relation, bool) {
 }
 
 // Put stores a result under key, recording the relation names it depends
-// on, and evicts the least recently used entries beyond capacity.
+// on, and evicts the least recently used entries beyond capacity. A put
+// on an already-present key (concurrent evaluations of the same query
+// racing past the same cache miss) updates the entry in place — result,
+// dependency set and recency — without growing the list or the map, so
+// Entries never double-counts and no list element leaks.
 func (c *Cache) Put(key string, deps []string, result *relation.Relation) {
 	if c.cap < 1 {
 		return
@@ -95,7 +99,9 @@ func (c *Cache) Put(key string, deps []string, result *relation.Relation) {
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).result = result
+		e := el.Value.(*cacheEntry)
+		e.result = result
+		e.deps = deps
 		return
 	}
 	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, deps: deps, result: result})

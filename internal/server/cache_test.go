@@ -77,6 +77,58 @@ func TestCacheKeyShape(t *testing.T) {
 	}
 }
 
+// TestCacheRePutUnderCapacityPressure re-puts existing keys while the
+// cache sits exactly at capacity: the re-put must update the entry and
+// its recency in place — Entries must not double-count, nothing may be
+// evicted, and no list element may leak (list length stays equal to the
+// map size).
+func TestCacheRePutUnderCapacityPressure(t *testing.T) {
+	c := NewCache(3)
+	old := rel1("r", "r1")
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []string{"a"}, old)
+	}
+
+	// At capacity: re-put k0 with a fresh result and a different dep set.
+	fresh := rel1("r", "r2")
+	c.Put("k0", []string{"b"}, fresh)
+
+	st := c.Stats()
+	if st.Entries != 3 || st.Evictions != 0 {
+		t.Fatalf("stats after re-put = %+v, want 3 entries, 0 evictions", st)
+	}
+	if c.ll.Len() != len(c.entries) {
+		t.Fatalf("list %d vs map %d: leaked element", c.ll.Len(), len(c.entries))
+	}
+	if got, ok := c.Get("k0"); !ok || got != fresh {
+		t.Fatal("re-put did not replace the stored result")
+	}
+
+	// Recency was refreshed: adding one more evicts k1 (now LRU), not k0.
+	c.Put("k3", []string{"a"}, old)
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 was evicted despite being most recently re-put")
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 should have been the LRU eviction victim")
+	}
+
+	// The dependency set was replaced, not merged or kept: invalidating
+	// the old dep leaves k0 alone, invalidating the new one drops it.
+	if n := c.InvalidateRelation("a"); n != 2 { // k2, k3
+		t.Fatalf("InvalidateRelation(a) dropped %d, want 2", n)
+	}
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 no longer depends on a, must survive")
+	}
+	if n := c.InvalidateRelation("b"); n != 1 {
+		t.Fatalf("InvalidateRelation(b) dropped %d, want 1", n)
+	}
+	if c.ll.Len() != len(c.entries) {
+		t.Fatalf("list %d vs map %d after invalidations", c.ll.Len(), len(c.entries))
+	}
+}
+
 func TestCachePutOverCapacitySequence(t *testing.T) {
 	c := NewCache(3)
 	r := rel1("r", "r1")

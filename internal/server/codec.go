@@ -55,24 +55,30 @@ func EncodeRelation(r *relation.Relation, version uint64) RelationJSON {
 		rj.Attrs = []string{}
 	}
 	for i := range r.Tuples {
-		t := &r.Tuples[i]
-		tj := TupleJSON{
-			Fact:    []string(t.Fact),
-			Lineage: t.Lineage.String(),
-			Ts:      t.T.Ts,
-			Te:      t.T.Te,
-			Prob:    t.Prob,
-		}
-		// A bare variable's marginal is recoverable from the tuple itself
-		// when the probability was valuated eagerly; anything else (a real
-		// formula, or a lazily unvaluated tuple) ships explicit marginals.
-		if t.Lineage != nil && (t.Lineage.Kind() != lineage.KindVar || t.Prob != t.Lineage.VarProb()) {
-			tj.VarProbs = make(map[string]float64)
-			t.Lineage.VarProbs(tj.VarProbs)
-		}
-		rj.Tuples = append(rj.Tuples, tj)
+		rj.Tuples = append(rj.Tuples, EncodeTuple(&r.Tuples[i]))
 	}
 	return rj
+}
+
+// EncodeTuple converts one tuple to its wire form — the per-line payload
+// of the NDJSON streaming endpoint, and the element encoder of
+// EncodeRelation.
+func EncodeTuple(t *relation.Tuple) TupleJSON {
+	tj := TupleJSON{
+		Fact:    []string(t.Fact),
+		Lineage: t.Lineage.String(),
+		Ts:      t.T.Ts,
+		Te:      t.T.Te,
+		Prob:    t.Prob,
+	}
+	// A bare variable's marginal is recoverable from the tuple itself
+	// when the probability was valuated eagerly; anything else (a real
+	// formula, or a lazily unvaluated tuple) ships explicit marginals.
+	if t.Lineage != nil && (t.Lineage.Kind() != lineage.KindVar || t.Prob != t.Lineage.VarProb()) {
+		tj.VarProbs = make(map[string]float64)
+		t.Lineage.VarProbs(tj.VarProbs)
+	}
+	return tj
 }
 
 // DecodeRelation reconstructs a relation from its wire form. name, when

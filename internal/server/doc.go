@@ -23,7 +23,10 @@
 //
 //   - Handlers — PUT/GET/DELETE /relations/{name} (JSON wire codec
 //     round-tripping lineage through the lineage parser),
-//     POST /query (with per-request workers and lazyProb knobs),
+//     POST /query (with per-request workers and lazyProb knobs; workers
+//     outside [0, MaxWorkers] are rejected with 400),
+//     POST /query/stream (NDJSON: meta line, one tuple per line flushed
+//     incrementally, done trailer; result cache bypassed),
 //     GET /stats/{name} (Table IV statistics), GET /relations,
 //     GET /healthz and GET /metrics.
 //

@@ -40,7 +40,14 @@ type Server struct {
 
 	queries   atomic.Uint64 // POST /query requests admitted to evaluation or cache
 	evalCount atomic.Uint64 // queries actually evaluated (cache misses)
+	streams   atomic.Uint64 // POST /query/stream requests that started streaming
 }
+
+// MaxWorkers bounds the per-request worker budget: the engine sizes its
+// worker pool eagerly from the budget, so an absurd value would allocate
+// absurdly even on a tiny query. Requests beyond it (or below zero) are
+// rejected with 400 rather than passed through to the engine.
+const MaxWorkers = 4096
 
 // New returns a server with an empty catalog.
 func New(cfg Config) *Server {
@@ -66,6 +73,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /relations/{name}", s.handleDeleteRelation)
 	s.mux.HandleFunc("GET /stats/{name}", s.handleStats)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /query/stream", s.handleQueryStream)
 	return s
 }
 
@@ -151,28 +159,67 @@ type QueryResponse struct {
 	Result RelationJSON `json:"result"`
 }
 
-// RunQuery is the evaluation path of POST /query, exposed for the
-// benchmark harness and tests: parse → push down selections → snapshot
-// catalog versions → cache lookup → partition-parallel evaluation → cache
-// store.
-func (s *Server) RunQuery(req QueryRequest) (*QueryResponse, error) {
+// preparedQuery is the outcome of the shared request prologue: parsed and
+// optimized query plus the catalog snapshot it will evaluate against.
+type preparedQuery struct {
+	optimized query.Node
+	canonical string
+	names     []string
+	db        map[string]*relation.Relation
+	versions  []RelVersion
+	workers   int
+}
+
+// prepare runs the request prologue shared by the materializing and
+// streaming query paths: validate the request knobs, parse, push down
+// selections, snapshot the catalog, resolve the worker budget.
+func (s *Server) prepare(req QueryRequest) (*preparedQuery, error) {
+	if req.Workers < 0 || req.Workers > MaxWorkers {
+		return nil, &httpError{http.StatusBadRequest,
+			fmt.Sprintf("workers %d out of range [0, %d] (0 = server default)", req.Workers, MaxWorkers)}
+	}
 	node, err := query.Parse(req.Query)
 	if err != nil {
 		return nil, &httpError{http.StatusBadRequest, err.Error()}
 	}
 	optimized := query.PushDownSelections(node)
-	canonical := query.Canonical(optimized)
 	names := query.Relations(optimized)
-
 	db, versions, err := s.catalog.Snapshot(names)
 	if err != nil {
 		return nil, &httpError{http.StatusNotFound, err.Error()}
 	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = s.cfg.Workers
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &preparedQuery{
+		optimized: optimized,
+		canonical: query.Canonical(optimized),
+		names:     names,
+		db:        db,
+		versions:  versions,
+		workers:   workers,
+	}, nil
+}
+
+// RunQuery is the evaluation path of POST /query, exposed for the
+// benchmark harness and tests: parse → push down selections → snapshot
+// catalog versions → cache lookup → cursor-executor evaluation
+// (materialized only at the top) → cache store.
+func (s *Server) RunQuery(req QueryRequest) (*QueryResponse, error) {
+	pq, err := s.prepare(req)
+	if err != nil {
+		return nil, err
+	}
+	canonical := pq.canonical
 
 	resp := &QueryResponse{
 		Query:      canonical,
-		Complexity: query.Classify(optimized).String(),
-		Inputs:     versions,
+		Complexity: query.Classify(pq.optimized).String(),
+		Inputs:     pq.versions,
 	}
 	s.queries.Add(1)
 
@@ -182,7 +229,7 @@ func (s *Server) RunQuery(req QueryRequest) (*QueryResponse, error) {
 	if req.LazyProb {
 		keyQuery += "\x00lazy"
 	}
-	key := CacheKey(keyQuery, versions)
+	key := CacheKey(keyQuery, pq.versions)
 
 	start := time.Now()
 	if !req.NoCache {
@@ -194,21 +241,14 @@ func (s *Server) RunQuery(req QueryRequest) (*QueryResponse, error) {
 		}
 	}
 
-	workers := req.Workers
-	if workers <= 0 {
-		workers = s.cfg.Workers
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	out, err := engine.New(engine.Config{Workers: workers}).
-		EvalWith(optimized, db, engineOptions(req))
+	out, err := engine.New(engine.Config{Workers: pq.workers}).
+		EvalCursor(pq.optimized, pq.db, engineOptions(req))
 	if err != nil {
 		return nil, &httpError{http.StatusUnprocessableEntity, err.Error()}
 	}
 	s.evalCount.Add(1)
 	if !req.NoCache {
-		s.cache.Put(key, names, out)
+		s.cache.Put(key, pq.names, out)
 	}
 	resp.ElapsedMicros = time.Since(start).Microseconds()
 	resp.Result = EncodeRelation(out, 0)
@@ -246,6 +286,7 @@ type Metrics struct {
 	CatalogClock uint64     `json:"catalogClock"`
 	Queries      uint64     `json:"queries"`
 	Evaluations  uint64     `json:"evaluations"`
+	Streams      uint64     `json:"streams"`
 	Cache        CacheStats `json:"cache"`
 	UptimeSec    int64      `json:"uptimeSec"`
 }
@@ -256,6 +297,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		CatalogClock: s.catalog.Clock(),
 		Queries:      s.queries.Load(),
 		Evaluations:  s.evalCount.Load(),
+		Streams:      s.streams.Load(),
 		Cache:        s.cache.Stats(),
 		UptimeSec:    int64(time.Since(s.started).Seconds()),
 	})
@@ -341,14 +383,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.RunQuery(req)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if he, ok := err.(*httpError); ok {
-			status = he.status
-		}
-		writeError(w, status, err.Error())
+		writeErrStatus(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeErrStatus writes a service-layer error, mapping httpError to its
+// status and anything else to 500.
+func writeErrStatus(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if he, ok := err.(*httpError); ok {
+		status = he.status
+	}
+	writeError(w, status, err.Error())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -84,6 +84,12 @@ func TestHandlersTable(t *testing.T) {
 		{"query parse error", "POST", "/query", QueryRequest{Query: "c - ("}, 400, "error"},
 		{"query unknown relation", "POST", "/query", QueryRequest{Query: "c - zz"}, 404, "unknown relation"},
 		{"query bad json", "POST", "/query", "not-a-query-object", 400, "decoding body"},
+		{"query negative workers", "POST", "/query", QueryRequest{Query: "a | b", Workers: -1}, 400, "workers -1 out of range"},
+		{"query absurd workers", "POST", "/query", QueryRequest{Query: "a | b", Workers: MaxWorkers + 1}, 400, "out of range"},
+		{"query max workers ok", "POST", "/query", QueryRequest{Query: "a | b", Workers: MaxWorkers}, 200, `"complexity"`},
+		{"stream parse error", "POST", "/query/stream", QueryRequest{Query: "c - ("}, 400, "error"},
+		{"stream unknown relation", "POST", "/query/stream", QueryRequest{Query: "c - zz"}, 404, "unknown relation"},
+		{"stream negative workers", "POST", "/query/stream", QueryRequest{Query: "a | b", Workers: -7}, 400, "workers -7 out of range"},
 		{"put bad body", "PUT", "/relations/x", "zzz", 400, "decoding body"},
 		{"put bad tuple", "PUT", "/relations/x", RelationJSON{
 			Attrs:  []string{"P"},

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/tpset/tpset/internal/engine"
+	"github.com/tpset/tpset/internal/query"
+)
+
+// POST /query/stream — the streaming form of POST /query. The response is
+// NDJSON (application/x-ndjson, one JSON value per line):
+//
+//	line 1:      StreamMeta   — canonical query, complexity, version vector, schema
+//	lines 2..n+1: TupleJSON   — one result tuple per line, canonical order
+//	last line:   StreamTrailer — {"done":true, tuples, elapsedMicros}
+//
+// Tuples are written as the cursor plan produces them and flushed
+// incrementally (after the meta line and every streamFlushEvery tuples),
+// so the first results reach the client while the sweep is still running
+// and the server never materializes the result relation. The trailer
+// marks a complete stream: clients that do not see it must treat the
+// result as truncated (once streaming starts, HTTP offers no other way to
+// signal a broken transfer).
+//
+// The result cache is bypassed in both directions — no lookup, no store:
+// a stream has no materialized relation to cache, and caching would
+// defeat its O(tree depth) memory bound.
+
+// streamFlushEvery is the tuple interval between explicit flushes.
+const streamFlushEvery = 256
+
+// StreamMeta is the first NDJSON line of a /query/stream response.
+type StreamMeta struct {
+	// Query is the canonical form of the optimized query.
+	Query string `json:"query"`
+	// Complexity classifies the query (PTIME vs #P-hard; Theorem 1).
+	Complexity string `json:"complexity"`
+	// Inputs is the version vector the stream is computed from.
+	Inputs []RelVersion `json:"inputs"`
+	// Name and Attrs describe the result schema.
+	Name  string   `json:"name"`
+	Attrs []string `json:"attrs"`
+}
+
+// StreamTrailer is the last NDJSON line of a complete stream.
+type StreamTrailer struct {
+	Done          bool  `json:"done"`
+	Tuples        int   `json:"tuples"`
+	ElapsedMicros int64 `json:"elapsedMicros"`
+}
+
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding body: %v", err))
+		return
+	}
+	pq, err := s.prepare(req)
+	if err != nil {
+		writeErrStatus(w, err)
+		return
+	}
+
+	cur, err := engine.New(engine.Config{Workers: pq.workers}).
+		Cursor(pq.optimized, pq.db, engineOptions(req))
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	defer cur.Close()
+	s.streams.Add(1)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc := json.NewEncoder(w) // Encode terminates every value with '\n': NDJSON framing
+	enc.SetEscapeHTML(false)
+
+	schema := cur.Schema()
+	start := time.Now()
+	meta := StreamMeta{
+		Query:      pq.canonical,
+		Complexity: query.Classify(pq.optimized).String(),
+		Inputs:     pq.versions,
+		Name:       schema.Name,
+		Attrs:      schema.Attrs,
+	}
+	if meta.Attrs == nil {
+		meta.Attrs = []string{}
+	}
+	if err := enc.Encode(meta); err != nil {
+		return // client gone
+	}
+	flush() // time-to-first-byte: the client learns the schema immediately
+
+	count := 0
+	for {
+		t, ok := cur.Next()
+		if !ok {
+			break
+		}
+		if err := enc.Encode(EncodeTuple(&t)); err != nil {
+			return // client gone; Close (deferred) releases the producers
+		}
+		count++
+		if count%streamFlushEvery == 0 {
+			flush()
+		}
+	}
+	_ = enc.Encode(StreamTrailer{
+		Done:          true,
+		Tuples:        count,
+		ElapsedMicros: time.Since(start).Microseconds(),
+	})
+	flush()
+}

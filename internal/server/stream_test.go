@@ -1,0 +1,239 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/tpset/tpset/internal/datagen"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// streamOnce POSTs /query/stream and decodes the NDJSON framing: one meta
+// line, n tuple lines, one trailer line.
+func streamOnce(t *testing.T, ts *httptest.Server, req QueryRequest) (StreamMeta, []TupleJSON, StreamTrailer) {
+	t.Helper()
+	resp, body := do(t, "POST", ts.URL+"/query/stream", req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream %+v: %d %s", req, resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type %q, want application/x-ndjson", ct)
+	}
+	var (
+		meta    StreamMeta
+		tuples  []TupleJSON
+		trailer StreamTrailer
+	)
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	sawTrailer := false
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(bytes.TrimSpace(raw)) == 0 {
+			t.Fatalf("blank NDJSON line %d", line)
+		}
+		if sawTrailer {
+			t.Fatalf("line %d after trailer", line)
+		}
+		switch {
+		case line == 0:
+			if err := json.Unmarshal(raw, &meta); err != nil {
+				t.Fatalf("meta line: %v (%s)", err, raw)
+			}
+		case bytes.Contains(raw, []byte(`"done"`)):
+			if err := json.Unmarshal(raw, &trailer); err != nil {
+				t.Fatalf("trailer line: %v (%s)", err, raw)
+			}
+			sawTrailer = true
+		default:
+			var tj TupleJSON
+			if err := json.Unmarshal(raw, &tj); err != nil {
+				t.Fatalf("tuple line %d: %v (%s)", line, err, raw)
+			}
+			tuples = append(tuples, tj)
+		}
+		line++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawTrailer {
+		t.Fatal("stream ended without a trailer line")
+	}
+	return meta, tuples, trailer
+}
+
+// TestQueryStreamMatchesQuery asserts the streaming endpoint returns
+// exactly the non-streaming result — same meta, same tuples in the same
+// order — with a correct trailer count, and that streams bypass the
+// result cache entirely.
+func TestQueryStreamMatchesQuery(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	want := queryOnce(t, ts, QueryRequest{Query: "c - (a | b)", NoCache: true})
+	meta, tuples, trailer := streamOnce(t, ts, QueryRequest{Query: "c - (a | b)"})
+
+	if meta.Query != want.Query {
+		t.Fatalf("meta query %q, want %q", meta.Query, want.Query)
+	}
+	if meta.Complexity != want.Complexity {
+		t.Fatalf("meta complexity %q, want %q", meta.Complexity, want.Complexity)
+	}
+	if fmt.Sprint(meta.Inputs) != fmt.Sprint(want.Inputs) {
+		t.Fatalf("meta inputs %v, want %v", meta.Inputs, want.Inputs)
+	}
+	if meta.Name != want.Result.Name || fmt.Sprint(meta.Attrs) != fmt.Sprint(want.Result.Attrs) {
+		t.Fatalf("meta schema %s%v, want %s%v", meta.Name, meta.Attrs, want.Result.Name, want.Result.Attrs)
+	}
+	if trailer.Tuples != len(tuples) || len(tuples) != len(want.Result.Tuples) {
+		t.Fatalf("stream %d tuples, trailer %d, non-stream %d",
+			len(tuples), trailer.Tuples, len(want.Result.Tuples))
+	}
+	for i := range tuples {
+		if fmt.Sprint(tuples[i]) != fmt.Sprint(want.Result.Tuples[i]) {
+			t.Fatalf("tuple %d: %+v, want %+v", i, tuples[i], want.Result.Tuples[i])
+		}
+	}
+
+	// Streams bypass the cache: no entries stored, no lookups counted.
+	if st := s.CacheStats(); st.Entries != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("stream touched the result cache: %+v", st)
+	}
+
+	// A repeat still streams (never served from cache) and the metrics
+	// counter tracks it.
+	streamOnce(t, ts, QueryRequest{Query: "c - (a | b)"})
+	if got := s.streams.Load(); got != 2 {
+		t.Fatalf("streams counter = %d, want 2", got)
+	}
+	if st := s.CacheStats(); st.Entries != 0 {
+		t.Fatalf("repeat stream stored a cache entry: %+v", st)
+	}
+}
+
+// TestQueryStreamLazyProb pins the lazyProb knob on the streaming path:
+// tuples arrive with unvaluated probabilities but decodable lineage.
+func TestQueryStreamLazyProb(t *testing.T) {
+	_, ts := newTestServer(t)
+	meta, tuples, _ := streamOnce(t, ts, QueryRequest{Query: "c - (a | b)", LazyProb: true})
+	if len(tuples) == 0 {
+		t.Fatal("no tuples streamed")
+	}
+	for i, tj := range tuples {
+		if tj.Prob != 0 {
+			t.Fatalf("lazy tuple %d carries probability %v", i, tj.Prob)
+		}
+	}
+	back, err := DecodeRelation(RelationJSON{Name: meta.Name, Attrs: meta.Attrs, Tuples: tuples}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back.ComputeProbs()
+	eager := queryOnce(t, ts, QueryRequest{Query: "c - (a | b)", NoCache: true})
+	eagerBack, err := DecodeRelation(eager.Result, meta.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := relation.Diff(back, eagerBack); d != "" {
+		t.Fatalf("lazy stream + ComputeProbs differs from eager: %s", d)
+	}
+}
+
+// TestConcurrentStreamsAndReplacementsRaceClean drives many concurrent
+// /query/stream requests through the real HTTP stack while the catalog is
+// being replaced underneath them. Every stream must either complete with
+// a trailer whose count matches the lines received, or fail cleanly with
+// 404 (racing a drop) — never a torn NDJSON body. Run under -race this
+// also checks the snapshot/stream locking discipline.
+func TestConcurrentStreamsAndReplacementsRaceClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	s := New(Config{Workers: 2, CacheSize: 8})
+	seedRel := func(name string, seed int64) {
+		r := datagen.Synthetic(datagen.SyntheticConfig{
+			Name: name, NumTuples: 400, NumFacts: 16, MaxLen: 4, MaxGap: 2, Seed: seed,
+		})
+		if _, err := s.Load(name, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seedRel("r", 1)
+	seedRel("s", 2)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	queries := []string{"r & s", "r | s", "r - s", "(r | s) - (r & s)"}
+	const (
+		goroutines = 6
+		iters      = 25
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if g == 0 && i%5 == 2 { // replacement writer
+					seedRel("s", int64(100+i))
+					continue
+				}
+				blob, _ := json.Marshal(QueryRequest{Query: queries[(g+i)%len(queries)], Workers: 1 + g%3})
+				resp, err := http.Post(ts.URL+"/query/stream", "application/json", bytes.NewReader(blob))
+				if err != nil {
+					t.Errorf("stream: %v", err)
+					continue
+				}
+				func() {
+					defer resp.Body.Close()
+					if resp.StatusCode == 404 {
+						return // raced a drop; legal
+					}
+					if resp.StatusCode != 200 {
+						t.Errorf("stream status %d", resp.StatusCode)
+						return
+					}
+					sc := bufio.NewScanner(resp.Body)
+					sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+					lines, sawTrailer, tuples := 0, false, 0
+					var trailer StreamTrailer
+					for sc.Scan() {
+						raw := sc.Bytes()
+						if !json.Valid(raw) {
+							t.Errorf("invalid NDJSON line: %s", raw)
+							return
+						}
+						if lines > 0 {
+							if bytes.Contains(raw, []byte(`"done"`)) {
+								sawTrailer = true
+								if err := json.Unmarshal(raw, &trailer); err != nil {
+									t.Errorf("trailer: %v", err)
+								}
+							} else {
+								tuples++
+							}
+						}
+						lines++
+					}
+					if err := sc.Err(); err != nil {
+						t.Errorf("scan: %v", err)
+						return
+					}
+					if !sawTrailer {
+						t.Error("stream without trailer")
+					} else if trailer.Tuples != tuples {
+						t.Errorf("trailer says %d tuples, received %d", trailer.Tuples, tuples)
+					}
+				}()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
