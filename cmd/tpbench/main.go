@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -40,8 +42,41 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write <dir>/<exp>.csv files")
 		quiet    = flag.Bool("q", false, "suppress per-run progress lines")
 		speedups = flag.Bool("speedups", false, "print who-wins-by-what-factor digest per experiment")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (after the runs) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "tpbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tpbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			runtime.GC() // materialize a settled heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "tpbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}()
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {

@@ -77,6 +77,14 @@ func main() {
 		}
 		db[name] = r
 	}
+	// Rebind all loaded relations onto one shared fact dictionary (each
+	// file was interned separately at ingest): the whole query tree then
+	// evaluates on integer fact compares.
+	all := make([]*relation.Relation, 0, len(db))
+	for _, r := range db {
+		all = append(all, r)
+	}
+	relation.InternAll(all...)
 
 	if *stream {
 		if query.Algorithm(*algo) != query.AlgoLAWA {

@@ -67,6 +67,7 @@ func Experiments() []Experiment {
 		{"par-workers", "Partition-parallel engine: worker-count sweep at fixed size (∩Tp)", ParWorkers},
 		{"serve-cache", "Query service: cold evaluation vs result-cache hit (∩Tp)", ServeCache},
 		{"stream-vs-materialize", "Cursor executor vs materializing evaluator: depth sweep (alloc + TTFT)", StreamVsMaterialize},
+		{"intern-vs-string", "Interned (FactID) vs string tuple keys: sort + LAWA wall time and allocations", InternVsString},
 	}
 }
 

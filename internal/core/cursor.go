@@ -136,7 +136,7 @@ func (c *OpCursor) Next() (relation.Tuple, bool) {
 		if !keep {
 			continue
 		}
-		t := relation.NewDerivedLazy(w.Fact, lam, w.Interval())
+		t := relation.NewDerivedLazyKeyed(w.Fact, w.Key, lam, w.Interval())
 		if !c.opts.LazyProb {
 			t.ComputeProb()
 		}
@@ -145,12 +145,16 @@ func (c *OpCursor) Next() (relation.Tuple, bool) {
 }
 
 // Materialize drains a cursor into a relation — the single point where a
-// cursor plan gives up its O(tree depth) memory bound.
+// cursor plan gives up its O(tree depth) memory bound. When every output
+// tuple carries one shared interning dictionary (the same-dict-inputs
+// case), the materialized relation comes out bound to it, so downstream
+// sorts and set operations stay on the integer-compare path.
 func Materialize(c Cursor) *relation.Relation {
 	out := relation.New(c.Schema())
 	for {
 		t, ok := c.Next()
 		if !ok {
+			out.AdoptBinding()
 			return out
 		}
 		out.Tuples = append(out.Tuples, t)

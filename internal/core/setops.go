@@ -25,6 +25,11 @@ type Options struct {
 	// Parallelism > 1 through the partitioned execution engine. 0 and 1
 	// both mean sequential.
 	Parallelism int
+	// NoIntern skips building a shared fact dictionary over the cloned
+	// inputs, so every comparison falls back to the key-string path —
+	// the pre-interning representation. Exists for the cross-validation
+	// suite and the intern-vs-string benchmark; leave it unset otherwise.
+	NoIntern bool
 }
 
 // Op identifies a TP set operation.
@@ -80,6 +85,13 @@ func prepare(r, s *relation.Relation, opts Options) (rr, ss *relation.Relation, 
 		return r, s, nil
 	}
 	rr, ss = r.Clone(), s.Clone()
+	// Give the private clones one shared fact dictionary unless they
+	// already have one (ingest-aligned inputs, intermediate results over
+	// same-dict leaves): the sort below and the advancer sweep then run
+	// on packed (FactID, Ts, Te) integer compares.
+	if !opts.NoIntern && (rr.Dict() == nil || rr.Dict() != ss.Dict()) {
+		relation.InternAll(rr, ss)
+	}
 	rr.Sort()
 	ss.Sort()
 	return rr, ss, nil

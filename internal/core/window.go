@@ -17,8 +17,14 @@ import (
 // Because the two lineages are recorded separately, a single window stream
 // serves all three set operations: each operation filters windows and
 // combines LamR/LamS with its own lineage-concatenation function.
+//
+// Key is the comparison key of Fact, carried from the input tuple that
+// opened the fact group: output tuples built from the window inherit the
+// inputs' interning through it, which keeps a whole stacked query tree on
+// the integer-compare path.
 type Window struct {
 	Fact  relation.Fact
+	Key   relation.FactKey
 	WinTs interval.Time
 	WinTe interval.Time
 	LamR  *lineage.Expr
@@ -107,7 +113,7 @@ type Advancer struct {
 	r, s tupleSource
 
 	prevWinTe interval.Time
-	currFact  string
+	currKey   relation.FactKey
 	currFactV relation.Fact
 	rValid    *relation.Tuple
 	sValid    *relation.Tuple
@@ -165,7 +171,8 @@ func (a *Advancer) Next() (Window, bool) {
 			winTs = s.T.Ts
 			a.setFact(s)
 		default:
-			rSame, sSame := r.Key() == a.currFact, s.Key() == a.currFact
+			rKey, sKey := r.FactKey(), s.FactKey()
+			rSame, sSame := rKey.Equal(a.currKey), sKey.Equal(a.currKey)
 			switch {
 			case rSame && !sSame:
 				winTs = r.T.Ts
@@ -176,12 +183,11 @@ func (a *Advancer) Next() (Window, bool) {
 			default:
 				// Both open a new fact group: take the smaller fact; on
 				// equal facts, the earlier start.
-				rk, sk := r.Key(), s.Key()
 				switch {
-				case rk < sk:
+				case rKey.Less(sKey):
 					winTs = r.T.Ts
 					a.setFact(r)
-				case sk < rk:
+				case sKey.Less(rKey):
 					winTs = s.T.Ts
 					a.setFact(s)
 				default:
@@ -199,13 +205,13 @@ func (a *Advancer) Next() (Window, bool) {
 	// Admit upcoming tuples that become valid exactly at winTs. The tuple
 	// is copied out of the source's lookahead buffer: it must stay valid
 	// after the pop, which may overwrite the buffer on the next peek.
-	if r != nil && r.Key() == a.currFact && r.T.Ts == winTs {
+	if r != nil && r.FactKey().Equal(a.currKey) && r.T.Ts == winTs {
 		a.rValidBuf = *r
 		a.rValid = &a.rValidBuf
 		a.r.pop()
 		r = a.r.peek()
 	}
-	if s != nil && s.Key() == a.currFact && s.T.Ts == winTs {
+	if s != nil && s.FactKey().Equal(a.currKey) && s.T.Ts == winTs {
 		a.sValidBuf = *s
 		a.sValid = &a.sValidBuf
 		a.s.pop()
@@ -222,14 +228,14 @@ func (a *Advancer) Next() (Window, bool) {
 	if a.sValid != nil {
 		winTe = interval.Min(winTe, a.sValid.T.Te)
 	}
-	if r != nil && r.Key() == a.currFact {
+	if r != nil && r.FactKey().Equal(a.currKey) {
 		winTe = interval.Min(winTe, r.T.Ts)
 	}
-	if s != nil && s.Key() == a.currFact {
+	if s != nil && s.FactKey().Equal(a.currKey) {
 		winTe = interval.Min(winTe, s.T.Ts)
 	}
 
-	w := Window{Fact: a.currFactV, WinTs: winTs, WinTe: winTe}
+	w := Window{Fact: a.currFactV, Key: a.currKey, WinTs: winTs, WinTe: winTe}
 	if a.rValid != nil {
 		w.LamR = a.rValid.Lineage
 	}
@@ -249,6 +255,6 @@ func (a *Advancer) Next() (Window, bool) {
 }
 
 func (a *Advancer) setFact(t *relation.Tuple) {
-	a.currFact = t.Key()
+	a.currKey = t.FactKey()
 	a.currFactV = t.Fact
 }

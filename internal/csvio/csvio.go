@@ -138,8 +138,16 @@ func Read(rd io.Reader, name string) (*relation.Relation, error) {
 		if ts >= te {
 			return nil, fmt.Errorf("csvio: line %d: empty interval [%d,%d)", line, ts, te)
 		}
-		if p <= 0 || p > 1 {
+		// The positive-range check is written so NaN fails it too: NaN
+		// compares false to everything, so "p <= 0 || p > 1" would let a
+		// NaN probability through.
+		if !(p > 0 && p <= 1) {
 			return nil, fmt.Errorf("csvio: line %d: probability %v outside (0,1]", line, p)
+		}
+		for c := 0; c < nf; c++ {
+			if row[c] == "" {
+				return nil, fmt.Errorf("csvio: line %d: empty fact value in column %q", line, header[c])
+			}
 		}
 		// The lineage column is kept opaque (see the package note) but must
 		// at least BE lineage: parsing catches truncated or mangled
@@ -151,6 +159,9 @@ func Read(rd io.Reader, name string) (*relation.Relation, error) {
 		}
 		rel.AddBase(relation.Fact(row[:nf]), row[nf], ts, te, p)
 	}
+	// Construct interned fact ids at ingest: the duplicate check below and
+	// every later sort/sweep over this relation run on integer compares.
+	rel.Intern()
 	if err := rel.ValidateDuplicateFree(); err != nil {
 		return nil, fmt.Errorf("csvio: %w", err)
 	}

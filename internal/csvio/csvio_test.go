@@ -71,6 +71,12 @@ func TestReadErrors(t *testing.T) {
 		{"unparsable lineage parens", "F,lineage,ts,te,p\nx,(r1,1,3,0.5\n", "unparsable lineage"},
 		{"duplicate tuples", "F,lineage,ts,te,p\nx,r1,1,5,0.5\nx,r2,3,8,0.5\n", "duplicate fact"},
 		{"duplicate tuples same row", "F,lineage,ts,te,p\nx,r1,1,5,0.5\nx,r2,1,5,0.5\n", "duplicate fact"},
+		{"NaN probability", "F,lineage,ts,te,p\nx,r1,1,3,NaN\n", "probability NaN outside (0,1]"},
+		{"negative probability", "F,lineage,ts,te,p\nx,r1,1,3,-0.2\n", "probability -0.2 outside (0,1]"},
+		{"probability above one", "F,lineage,ts,te,p\nx,r1,1,3,1.0001\n", "probability 1.0001 outside (0,1]"},
+		{"negative infinity probability", "F,lineage,ts,te,p\nx,r1,1,3,-Inf\n", "probability -Inf outside (0,1]"},
+		{"empty fact value", "F,lineage,ts,te,p\n,r1,1,3,0.5\n", `empty fact value in column "F"`},
+		{"empty second fact value", "F,G,lineage,ts,te,p\nx,,r1,1,3,0.5\n", `empty fact value in column "G"`},
 	}
 	for _, tc := range cases {
 		_, err := Read(strings.NewReader(tc.data), "r")

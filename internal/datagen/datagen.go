@@ -59,6 +59,7 @@ func Synthetic(cfg SyntheticConfig) *relation.Relation {
 		cursors[f] = te
 		r.AddBase(facts[f], fmt.Sprintf("%s%d", cfg.Name, i), ts, te, 0.1+0.9*rng.Float64())
 	}
+	r.Intern()
 	return r
 }
 
@@ -97,6 +98,9 @@ func Pair(cfg PairConfig) (r, s *relation.Relation) {
 		Name: "s", NumTuples: cfg.NumTuples, NumFacts: cfg.NumFacts,
 		MaxLen: cfg.MaxLenS, MaxGap: cfg.MaxGap, Seed: cfg.Seed + 1,
 	})
+	// One shared dictionary across the pair keeps the whole set operation
+	// — sort, advancer, partitioning, merge — on integer compares.
+	relation.InternAll(r, s)
 	return r, s
 }
 
@@ -148,6 +152,7 @@ func Meteo(cfg MeteoConfig) *relation.Relation {
 		fact := relation.NewFact(fmt.Sprintf("station%02d", st))
 		r.AddBase(fact, fmt.Sprintf("m%d", i), ts, te, 0.1+0.9*rng.Float64())
 	}
+	r.Intern()
 	return r
 }
 
@@ -204,6 +209,7 @@ func Webkit(cfg WebkitConfig) *relation.Relation {
 		fact := relation.NewFact(fmt.Sprintf("file%06d", f))
 		r.AddBase(fact, fmt.Sprintf("w%d", i), ts, te, 0.1+0.9*rng.Float64())
 	}
+	r.Intern()
 	return r
 }
 
@@ -251,6 +257,12 @@ func Shifted(r *relation.Relation, prefix string, seed int64) *relation.Relation
 		te := ts + t.T.Duration()
 		out.AddBase(t.Fact, fmt.Sprintf("%s%d", prefix, i), ts, te, 0.1+0.9*rng.Float64())
 	}
+	// Shifted facts are a subset of r's, so binding to r's dictionary
+	// keeps the derived relation dict-aligned with its source (the
+	// Fig. 10/11 pairs run set operations between the two).
+	if d := r.Dict(); d == nil || !out.Bind(d) {
+		out.Intern()
+	}
 	// Resolve same-fact overlaps by sorting and pushing right.
 	out.Sort()
 	lastEnd := make(map[string]interval.Time, 1024)
@@ -276,5 +288,6 @@ func Subset(r *relation.Relation, n int) *relation.Relation {
 	}
 	out := relation.New(r.Schema)
 	out.Tuples = append(out.Tuples, r.Tuples[:n]...)
+	out.AdoptBinding()
 	return out
 }

@@ -34,8 +34,10 @@
 //
 // Concurrency invariants:
 //
-//   - Input relations are strictly read-only; partitioning recomputes
-//     fact keys rather than going through the lazily-caching Tuple.Key.
+//   - Input relations are strictly read-only; partitioning hashes the
+//     interned FactID (a side-effect-free read) when an operation's
+//     inputs share one fact dictionary, and otherwise recomputes fact
+//     keys rather than going through the lazily-caching Tuple.Key.
 //   - An Engine is safe for concurrent use: all shard tasks and
 //     sequential fallbacks of all concurrent operations share one bounded
 //     semaphore, so a bushy tree cannot oversubscribe Config.Workers.

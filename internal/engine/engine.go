@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/keys"
 	"github.com/tpset/tpset/internal/relation"
 )
 
@@ -83,6 +84,12 @@ func (e *Engine) Apply(op core.Op, r, s *relation.Relation, opts core.Options) (
 		opts.Validate = false // already done; don't repeat per shard
 	}
 
+	// Both inputs bound to one fact dictionary means partitioning can
+	// hash the interned FactID — an integer mix instead of a string hash
+	// per tuple — while still landing every fact of r and s in aligned
+	// shards.
+	byID := r.Dict() != nil && r.Dict() == s.Dict()
+
 	shards := e.shardCount(r.Len() + s.Len())
 	if shards < 2 {
 		if opts.AssumeSorted {
@@ -101,8 +108,8 @@ func (e *Engine) Apply(op core.Op, r, s *relation.Relation, opts core.Options) (
 		return core.Apply(op, r, s, opts)
 	}
 
-	rParts := partition(r, shards)
-	sParts := partition(s, shards)
+	rParts := partition(r, shards, byID)
+	sParts := partition(s, shards, byID)
 
 	outs := make([]*relation.Relation, shards)
 	errs := make([]error, shards)
@@ -132,7 +139,9 @@ func (e *Engine) Apply(op core.Op, r, s *relation.Relation, opts core.Options) (
 			return nil, err
 		}
 	}
-	return mergeSorted(core.OutSchema(op, r, s), outs), nil
+	merged := mergeSorted(core.OutSchema(op, r, s), outs)
+	merged.AdoptBinding()
+	return merged, nil
 }
 
 // Union computes r ∪Tp s with partition parallelism.
@@ -172,15 +181,19 @@ func (e *Engine) shardCount(total int) int {
 	return shards
 }
 
-// partition splits r into shards by fact-key hash. Every tuple of a fact
-// lands in shard fnv32a(key) mod shards, so fact groups stay whole, and
-// the per-shard tuple order preserves the input order (a stable
-// distribution: a sorted input yields sorted shards).
+// partition splits r into shards by fact hash. Every tuple of a fact
+// lands in one shard, so fact groups stay whole, and the per-shard tuple
+// order preserves the input order (a stable distribution: a sorted input
+// yields sorted shards). With byID the hash is an integer mix of the
+// interned FactID; the caller guarantees both inputs of the operation
+// share one dictionary, so the shard assignment stays fact-aligned
+// across relations.
 //
-// Fact keys are recomputed from the fact values rather than read through
-// Tuple.Key, which lazily caches into the tuple — a write that would race
-// when concurrent operations share an input relation.
-func partition(r *relation.Relation, shards int) []*relation.Relation {
+// On the string path, fact keys are recomputed from the fact values
+// rather than read through Tuple.Key, which lazily caches into the
+// tuple — a write that would race when concurrent operations share an
+// input relation (InternedID reads are race-free).
+func partition(r *relation.Relation, shards int, byID bool) []*relation.Relation {
 	parts := make([]*relation.Relation, shards)
 	for i := range parts {
 		parts[i] = relation.New(r.Schema)
@@ -193,7 +206,18 @@ func partition(r *relation.Relation, shards int) []*relation.Relation {
 	}
 	for i := range r.Tuples {
 		t := &r.Tuples[i]
-		parts[fnv32a(t.Fact.Key())%uint32(shards)].Add(*t)
+		var h uint32
+		if byID {
+			id, _ := t.InternedID()
+			h = uint32(keys.Mix64(uint64(id)))
+		} else {
+			h = fnv32a(t.Fact.Key())
+		}
+		p := parts[h%uint32(shards)]
+		p.Tuples = append(p.Tuples, *t)
+	}
+	for i := range parts {
+		parts[i].AdoptBinding()
 	}
 	return parts
 }

@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/query"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// Cross-validation of the interned key-codec representation: executing a
+// query over dictionary-bound relations (integer fact compares in every
+// sort, advancer sweep, partition step and k-way merge) must be
+// BIT-IDENTICAL — same tuples, same lineage rendering, same
+// probabilities, same canonical order — to executing it over unbound
+// relations with interning disabled, which is exactly the pre-interning
+// execution stack. Both executors (the materializing evaluator and the
+// streaming cursor plan) and the partition-parallel engine at
+// Workers=1/2/8 are pinned, for eager and lazy probability valuation.
+// The suite runs under -race in CI, so the shared-dictionary reads are
+// also proven race-free.
+
+// internCrossDBs builds one random database in both representations:
+// the as-generated unbound relations (string keys) and clones bound to
+// one shared dictionary (as ingest/admission produces them).
+func internCrossDBs(rng *rand.Rand) (dbStr, dbInt map[string]*relation.Relation, names []string) {
+	dbStr = streamRandomDB(rng, 2+rng.Intn(3), 120, 24)
+	dbInt = make(map[string]*relation.Relation, len(dbStr))
+	var bound []*relation.Relation
+	for name, r := range dbStr {
+		c := r.Clone()
+		dbInt[name] = c
+		bound = append(bound, c)
+	}
+	relation.InternAll(bound...)
+	return dbStr, dbInt, query.DBKeys(dbStr)
+}
+
+// TestInternedExecutionBitIdentical is the main cross-validation sweep:
+// ≥100 random query trees, both executors, Workers=1/2/8, interned vs
+// string representation.
+func TestInternedExecutionBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	workerCounts := []int{1, 2, 8}
+	for trial := 0; trial < 120; trial++ {
+		dbStr, dbInt, names := internCrossDBs(rng)
+		tree := streamRandomTree(rng, names, 1+rng.Intn(4))
+		ctx := func(s string) string { return fmt.Sprintf("trial %d (%s): %s", trial, tree, s) }
+
+		// Reference: the pre-interning stack — unbound relations, interning
+		// disabled, sequential cursor executor.
+		want, err := query.EvaluateCursor(tree, dbStr, core.Options{NoIntern: true})
+		if err != nil {
+			t.Fatalf("%s: %v", ctx("string reference"), err)
+		}
+
+		// Sequential cursor executor, interned.
+		got, err := query.EvaluateCursor(tree, dbInt, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", ctx("interned cursor"), err)
+		}
+		requireIdenticalStreams(t, ctx("interned cursor"), got, want)
+
+		// Materializing evaluator, interned.
+		got, err = query.EvaluateWith(tree, dbInt, query.AlgoLAWA)
+		if err != nil {
+			t.Fatalf("%s: %v", ctx("interned materializing"), err)
+		}
+		requireIdenticalStreams(t, ctx("interned materializing"), got, want)
+
+		for _, w := range workerCounts {
+			e := New(Config{Workers: w, MinPartitionSize: 8})
+
+			// Partition-parallel engine over interned relations: leaf
+			// partitioning hashes FactIDs, shard merge compares packed keys.
+			got, err = e.EvalCursor(tree, dbInt, core.Options{})
+			if err != nil {
+				t.Fatalf("%s: %v", ctx(fmt.Sprintf("interned stream w=%d", w)), err)
+			}
+			requireIdenticalStreams(t, ctx(fmt.Sprintf("interned stream w=%d", w)), got, want)
+
+			got, err = e.EvalWith(tree, dbInt, core.Options{})
+			if err != nil {
+				t.Fatalf("%s: %v", ctx(fmt.Sprintf("interned apply w=%d", w)), err)
+			}
+			requireIdenticalStreams(t, ctx(fmt.Sprintf("interned apply w=%d", w)), got, want)
+
+			// And the engine over the string representation (NoIntern):
+			// string-hash partitioning, string-compare merges.
+			got, err = e.EvalWith(tree, dbStr, core.Options{NoIntern: true})
+			if err != nil {
+				t.Fatalf("%s: %v", ctx(fmt.Sprintf("string apply w=%d", w)), err)
+			}
+			requireIdenticalStreams(t, ctx(fmt.Sprintf("string apply w=%d", w)), got, want)
+		}
+	}
+}
+
+// TestInternedExecutionLazyProb pins the LazyProb variant: lineage and
+// intervals identical across representations, probabilities unvaluated.
+func TestInternedExecutionLazyProb(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 30; trial++ {
+		dbStr, dbInt, names := internCrossDBs(rng)
+		tree := streamRandomTree(rng, names, 1+rng.Intn(4))
+		want, err := query.EvaluateCursor(tree, dbStr, core.Options{NoIntern: true, LazyProb: true})
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, tree, err)
+		}
+		got, err := query.EvaluateCursor(tree, dbInt, core.Options{LazyProb: true})
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, tree, err)
+		}
+		requireIdenticalStreams(t, fmt.Sprintf("trial %d (%s) lazy", trial, tree), got, want)
+	}
+}
+
+// TestInternedAssumeSorted pins the query-service shape: pre-sorted,
+// catalog-style dictionary-bound relations evaluated with AssumeSorted
+// against the string reference.
+func TestInternedAssumeSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 30; trial++ {
+		dbStr, dbInt, names := internCrossDBs(rng)
+		for _, r := range dbInt {
+			r.Sort()
+		}
+		tree := streamRandomTree(rng, names, 1+rng.Intn(4))
+		want, err := query.EvaluateCursor(tree, dbStr, core.Options{NoIntern: true})
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, tree, err)
+		}
+		for _, w := range []int{1, 8} {
+			e := New(Config{Workers: w, MinPartitionSize: 8})
+			got, err := e.EvalCursor(tree, dbInt, core.Options{AssumeSorted: true})
+			if err != nil {
+				t.Fatalf("trial %d (%s) w=%d: %v", trial, tree, w, err)
+			}
+			requireIdenticalStreams(t, fmt.Sprintf("trial %d (%s) assume-sorted w=%d", trial, tree, w), got, want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/keys"
 	"github.com/tpset/tpset/internal/query"
 	"github.com/tpset/tpset/internal/relation"
 )
@@ -95,6 +96,27 @@ func (e *Engine) Cursor(n query.Node, db map[string]*relation.Relation, opts cor
 	// Apply — rather than letting BuildCursor clone every leaf a second
 	// time (partitioning is stable, so sorted inputs yield sorted shards
 	// and the sort pass is skipped entirely).
+	// Partitioning hashes interned fact ids only when every referenced
+	// relation is bound to one shared dictionary — otherwise the shard of
+	// a fact would differ between relations and the per-shard plans would
+	// no longer compute the query's restriction to disjoint fact sets.
+	byID := true
+	var shared *keys.Dict
+	for _, name := range names {
+		r, ok := db[name]
+		if !ok {
+			continue
+		}
+		if shared == nil {
+			shared = r.Dict()
+		}
+		if r.Dict() == nil || r.Dict() != shared {
+			byID = false
+			break
+		}
+	}
+	byID = byID && shared != nil
+
 	shardDBs := make([]map[string]*relation.Relation, shards)
 	for i := range shardDBs {
 		shardDBs[i] = make(map[string]*relation.Relation, len(names))
@@ -105,7 +127,7 @@ func (e *Engine) Cursor(n query.Node, db map[string]*relation.Relation, opts cor
 			// Let BuildCursor below produce the canonical error.
 			continue
 		}
-		for i, part := range partition(r, shards) {
+		for i, part := range partition(r, shards, byID) {
 			shardDBs[i][name] = part
 		}
 	}

@@ -1,0 +1,23 @@
+// Package keys is the interning/key-codec layer of the execution stack:
+// dictionaries that map variable-length string identity — fact keys and
+// lineage variable names — onto dense integers, so that the hot paths of
+// the LAWA pipeline (sorting, window advancing, k-way merging, fact-hash
+// partitioning, one-occurrence checks) run on integer compares instead of
+// string compares.
+//
+// Two codecs with different contracts live here:
+//
+//   - Dict / FactID: immutable and order-preserving (ids are ranks over
+//     the sorted key set), because facts are ordered — the canonical
+//     (fact, Ts, Te) tuple order of the paper's sort step must survive the
+//     translation bit-identically.
+//   - Interner / VarID: append-only and unordered, because lineage
+//     variables are only compared for equality.
+//
+// The layer is wired through every consumer: package relation binds
+// tuples to a Dict and compares via relation.FactKey, package core
+// threads interned keys through windows and operator cursors, package
+// engine partitions and merges on FactID, the query service's catalog
+// maintains one superset Dict across all admitted relations, and csvio /
+// datagen construct ids at ingest.
+package keys

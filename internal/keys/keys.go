@@ -1,0 +1,151 @@
+package keys
+
+import (
+	"sort"
+	"sync"
+)
+
+// FactID is the dense interned identifier of a fact key within one Dict.
+// IDs are ranks over the sorted key set, so for two ids of the same
+// dictionary id(a) < id(b) ⇔ key(a) < key(b): comparing FactIDs is
+// comparing fact keys.
+type FactID uint64
+
+// Dict is an immutable, order-preserving fact dictionary: every distinct
+// fact key maps to its rank in the sorted key set. Because the mapping is
+// monotone, the canonical tuple order (fact key, Ts, Te) collapses to a
+// three-integer compare (FactID, Ts, Te) for tuples interned against the
+// same Dict — the property the sort, advancer, k-way merge and
+// fact-hash partitioning hot paths rely on.
+//
+// A Dict is built once over a closed key set (ingest, catalog admission,
+// operator prepare) and never mutated, so it is safe for concurrent use
+// without locking. Growing the key set means building a new Dict; a Dict
+// covering a superset of the keys actually present stays valid (binding
+// only requires presence, and monotonicity is unaffected by unused keys).
+type Dict struct {
+	ids  map[string]FactID
+	keys []string // rank → key, sorted ascending
+}
+
+// BuildDict returns the dictionary over the given keys (duplicates are
+// fine; the input slice is not retained or modified).
+func BuildDict(ks []string) *Dict {
+	sorted := make([]string, len(ks))
+	copy(sorted, ks)
+	sort.Strings(sorted)
+	out := sorted[:0]
+	for i, k := range sorted {
+		if i == 0 || sorted[i-1] != k {
+			out = append(out, k)
+		}
+	}
+	d := &Dict{ids: make(map[string]FactID, len(out)), keys: out}
+	for i, k := range out {
+		d.ids[k] = FactID(i)
+	}
+	return d
+}
+
+// ID returns the id of key and whether the dictionary contains it.
+func (d *Dict) ID(key string) (FactID, bool) {
+	id, ok := d.ids[key]
+	return id, ok
+}
+
+// Key returns the fact key of id. It panics on an id that is not a rank
+// of this dictionary — ids are only meaningful against the Dict that
+// assigned them.
+func (d *Dict) Key(id FactID) string { return d.keys[id] }
+
+// Len returns the number of distinct keys.
+func (d *Dict) Len() int { return len(d.keys) }
+
+// Keys returns the sorted key set. The returned slice is shared and must
+// not be modified.
+func (d *Dict) Keys() []string { return d.keys }
+
+// Contains reports whether every key of ks is in the dictionary.
+func (d *Dict) Contains(ks []string) bool {
+	for _, k := range ks {
+		if _, ok := d.ids[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Mix64 is the splitmix64 finalizer: it spreads dense interned ids over
+// the full 64-bit space, so XOR fingerprints keep their discriminating
+// power and modulo-shards assignments stay balanced.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// VarID is the interned identifier of a lineage variable name. Unlike
+// FactID it carries no ordering semantics — lineage variables are only
+// ever compared for equality (one-occurrence checks, Shannon expansion
+// assignments) — so ids are assigned in first-come order and the arena
+// can grow forever without invalidating earlier ids.
+type VarID uint32
+
+// Interner is a concurrency-safe append-only intern arena for lineage
+// variable names: the same name always yields the same VarID, and names
+// are recovered by index for rendering. Lookups after warm-up take the
+// read lock only.
+type Interner struct {
+	mu    sync.RWMutex
+	ids   map[string]VarID
+	names []string
+}
+
+// NewInterner returns an empty arena.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]VarID)}
+}
+
+// Intern returns the id of name, assigning the next id on first sight.
+func (in *Interner) Intern(name string) VarID {
+	in.mu.RLock()
+	id, ok := in.ids[name]
+	in.mu.RUnlock()
+	if ok {
+		return id
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok := in.ids[name]; ok {
+		return id
+	}
+	id = VarID(len(in.names))
+	in.ids[name] = id
+	in.names = append(in.names, name)
+	return id
+}
+
+// Lookup returns the id of name without interning it.
+func (in *Interner) Lookup(name string) (VarID, bool) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	id, ok := in.ids[name]
+	return id, ok
+}
+
+// Name returns the name interned as id.
+func (in *Interner) Name(id VarID) string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.names[id]
+}
+
+// Len returns the number of interned names.
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.names)
+}

@@ -1,0 +1,90 @@
+package keys
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestDictOrderPreserving(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var ks []string
+	for i := 0; i < 500; i++ {
+		ks = append(ks, fmt.Sprintf("k%04d", rng.Intn(200)))
+	}
+	d := BuildDict(ks)
+	if !sort.StringsAreSorted(d.Keys()) {
+		t.Fatal("dict keys not sorted")
+	}
+	for i := 0; i < len(ks); i++ {
+		for j := 0; j < len(ks); j++ {
+			a, okA := d.ID(ks[i])
+			b, okB := d.ID(ks[j])
+			if !okA || !okB {
+				t.Fatalf("missing key %q or %q", ks[i], ks[j])
+			}
+			if (a < b) != (ks[i] < ks[j]) || (a == b) != (ks[i] == ks[j]) {
+				t.Fatalf("order not preserved: id(%q)=%d id(%q)=%d", ks[i], a, ks[j], b)
+			}
+		}
+	}
+}
+
+func TestDictRoundTrip(t *testing.T) {
+	d := BuildDict([]string{"b", "a", "b", "c"})
+	if d.Len() != 3 {
+		t.Fatalf("Len=%d, want 3", d.Len())
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		id, ok := d.ID(k)
+		if !ok || d.Key(id) != k {
+			t.Fatalf("round trip of %q failed (id=%d ok=%v)", k, id, ok)
+		}
+	}
+	if _, ok := d.ID("z"); ok {
+		t.Fatal("ID of absent key reported ok")
+	}
+	if !d.Contains([]string{"a", "c"}) || d.Contains([]string{"a", "z"}) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestInternerStableAndConcurrent(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("x1")
+	if b := in.Intern("x1"); b != a {
+		t.Fatalf("re-intern changed id: %d vs %d", a, b)
+	}
+	if in.Name(a) != "x1" {
+		t.Fatalf("Name(%d)=%q", a, in.Name(a))
+	}
+	if _, ok := in.Lookup("nope"); ok {
+		t.Fatal("Lookup invented an id")
+	}
+
+	var wg sync.WaitGroup
+	ids := make([][]VarID, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]VarID, 100)
+			for i := 0; i < 100; i++ {
+				ids[g][i] = in.Intern(fmt.Sprintf("v%d", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < 8; g++ {
+		for i := range ids[g] {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("goroutine %d interned v%d as %d, goroutine 0 as %d", g, i, ids[g][i], ids[0][i])
+			}
+		}
+	}
+	if in.Len() != 101 { // x1 + v0..v99
+		t.Fatalf("Len=%d, want 101", in.Len())
+	}
+}

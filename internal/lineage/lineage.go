@@ -5,7 +5,21 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"github.com/tpset/tpset/internal/keys"
 )
+
+// vars is the process-wide intern arena for lineage variable names: every
+// Expr leaf stores a dense keys.VarID instead of the name string, so
+// one-occurrence checks, Shannon-expansion bookkeeping and the XOR
+// fingerprint all run on integers. The arena is append-only: it grows
+// with every distinct variable name the process ever ingests and never
+// shrinks, even when the relations carrying those names are dropped.
+// Queries create no new names (operators only combine existing leaves),
+// so growth tracks cumulative ingest — a deliberate trade-off that a
+// long-lived server with heavy catalog churn over ever-fresh identifier
+// sets would eventually need to scope (e.g. per catalog generation).
+var vars = keys.NewInterner()
 
 // Kind discriminates the four node types of a lineage expression.
 type Kind uint8
@@ -23,9 +37,10 @@ const (
 // time point.
 type Expr struct {
 	kind Kind
-	// id and prob are set for KindVar nodes: the base-tuple identifier and
-	// its marginal probability.
-	id   string
+	// id and prob are set for KindVar nodes: the interned base-tuple
+	// identifier and its marginal probability. The name is recovered from
+	// the package arena for rendering and the public API.
+	id   keys.VarID
 	prob float64
 	// operands: Not has one, And/Or have exactly two (formulas are built by
 	// the binary concatenation functions, as in the paper).
@@ -45,8 +60,12 @@ func Var(id string, p float64) *Expr {
 	if p <= 0 || p > 1 {
 		panic(fmt.Sprintf("lineage: probability %v of %q outside (0,1]", p, id))
 	}
-	return &Expr{kind: KindVar, id: id, prob: p, size: 1, varsN: 1, oneOcc: true, varsKey: hashID(id)}
+	vid := vars.Intern(id)
+	return &Expr{kind: KindVar, id: vid, prob: p, size: 1, varsN: 1, oneOcc: true, varsKey: keys.Mix64(uint64(vid))}
 }
+
+// idName resolves the leaf's interned identifier back to its name.
+func (e *Expr) idName() string { return vars.Name(e.id) }
 
 // Not returns ¬e. It panics on a nil operand because Table I never negates
 // null lineage (andNot(λ1, null) = λ1).
@@ -110,7 +129,12 @@ func AndNot(l, r *Expr) *Expr {
 func (e *Expr) Kind() Kind { return e.kind }
 
 // ID returns the base-tuple identifier of a KindVar node ("" otherwise).
-func (e *Expr) ID() string { return e.id }
+func (e *Expr) ID() string {
+	if e.kind != KindVar {
+		return ""
+	}
+	return e.idName()
+}
 
 // VarProb returns the marginal probability of a KindVar node.
 func (e *Expr) VarProb() float64 { return e.prob }
@@ -159,7 +183,7 @@ func (e *Expr) appendVars(dst []string) []string {
 	}
 	switch e.kind {
 	case KindVar:
-		return append(dst, e.id)
+		return append(dst, e.idName())
 	case KindNot:
 		return e.left.appendVars(dst)
 	default:
@@ -176,25 +200,36 @@ func (e *Expr) NumVarOccurrences() int {
 }
 
 // disjointVars reports whether l and r share no variable identifier. It
-// walks the smaller formula into a set and probes with the larger one,
-// short-circuiting on the XOR fingerprint when it proves freshness is
-// impossible to decide cheaply.
+// walks the smaller formula into a set and probes with the larger one;
+// interned ids make the small case a handful of integer compares and the
+// large case an integer-keyed map.
 func disjointVars(l, r *Expr) bool {
 	small, big := l, r
 	if small.varsN > big.varsN {
 		small, big = big, small
 	}
-	if small.varsN <= 4 {
-		ids := make([]string, 0, 4)
-		ids = small.appendVars(ids)
+	if small.varsN <= 8 {
+		ids := make([]keys.VarID, 0, 8)
+		ids = small.appendVarIDs(ids)
 		return !containsAny(big, ids)
 	}
-	set := make(map[string]struct{}, small.varsN)
+	set := make(map[keys.VarID]struct{}, small.varsN)
 	collect(small, set)
 	return !probes(big, set)
 }
 
-func collect(e *Expr, set map[string]struct{}) {
+func (e *Expr) appendVarIDs(dst []keys.VarID) []keys.VarID {
+	switch e.kind {
+	case KindVar:
+		return append(dst, e.id)
+	case KindNot:
+		return e.left.appendVarIDs(dst)
+	default:
+		return e.right.appendVarIDs(e.left.appendVarIDs(dst))
+	}
+}
+
+func collect(e *Expr, set map[keys.VarID]struct{}) {
 	switch e.kind {
 	case KindVar:
 		set[e.id] = struct{}{}
@@ -206,7 +241,7 @@ func collect(e *Expr, set map[string]struct{}) {
 	}
 }
 
-func probes(e *Expr, set map[string]struct{}) bool {
+func probes(e *Expr, set map[keys.VarID]struct{}) bool {
 	switch e.kind {
 	case KindVar:
 		_, ok := set[e.id]
@@ -218,7 +253,7 @@ func probes(e *Expr, set map[string]struct{}) bool {
 	}
 }
 
-func containsAny(e *Expr, ids []string) bool {
+func containsAny(e *Expr, ids []keys.VarID) bool {
 	switch e.kind {
 	case KindVar:
 		for _, id := range ids {
@@ -248,7 +283,7 @@ func (e *Expr) String() string {
 func (e *Expr) render(b *strings.Builder) {
 	switch e.kind {
 	case KindVar:
-		b.WriteString(e.id)
+		b.WriteString(e.idName())
 	case KindNot:
 		b.WriteString("¬")
 		if e.left.kind == KindVar {
@@ -299,7 +334,7 @@ func (e *Expr) Canonical() string {
 func (e *Expr) canonical() string {
 	switch e.kind {
 	case KindVar:
-		return e.id
+		return e.idName()
 	case KindNot:
 		return "!(" + e.left.canonical() + ")"
 	case KindAnd, KindOr:
@@ -339,16 +374,6 @@ func EquivalentSyntactic(a, b *Expr) bool {
 	return a.canonical() == b.canonical()
 }
 
-func hashID(id string) uint64 {
-	// FNV-1a; good enough as a commutative-XOR fingerprint component.
-	var h uint64 = 14695981039346656037
-	for i := 0; i < len(id); i++ {
-		h ^= uint64(id[i])
-		h *= 1099511628211
-	}
-	return h
-}
-
 // Prob computes the marginal probability of the formula under the
 // tuple-independence assumption.
 //
@@ -364,7 +389,7 @@ func (e *Expr) Prob() float64 {
 	if e.oneOcc {
 		return e.probIndependent()
 	}
-	return e.probShannon(make(map[string]bool))
+	return e.probShannon(make(map[keys.VarID]bool))
 }
 
 // probIndependent evaluates assuming all subformulas of every connective are
@@ -386,8 +411,8 @@ func (e *Expr) probIndependent() float64 {
 
 // probShannon performs Shannon expansion on the most frequent unassigned
 // variable: P(λ) = p(v)·P(λ[v:=true]) + (1−p(v))·P(λ[v:=false]).
-// assign holds the current partial assignment.
-func (e *Expr) probShannon(assign map[string]bool) float64 {
+// assign holds the current partial assignment, keyed by interned id.
+func (e *Expr) probShannon(assign map[keys.VarID]bool) float64 {
 	v, p, shared := e.mostFrequentSharedVar(assign)
 	if !shared {
 		// Every remaining variable occurs once: residual evaluation under
@@ -410,24 +435,28 @@ func (e *Expr) probShannon(assign map[string]bool) float64 {
 }
 
 // mostFrequentSharedVar returns the unassigned variable with the highest
-// occurrence count if that count is >= 2.
-func (e *Expr) mostFrequentSharedVar(assign map[string]bool) (string, float64, bool) {
-	counts := make(map[string]int)
-	probs := make(map[string]float64)
+// occurrence count if that count is >= 2. Equal counts tie-break on the
+// variable *name* (not the interned id), so the expansion order — and
+// with it the floating-point rounding of the result — is exactly the
+// pre-interning one regardless of interning order.
+func (e *Expr) mostFrequentSharedVar(assign map[keys.VarID]bool) (keys.VarID, float64, bool) {
+	counts := make(map[keys.VarID]int)
+	probs := make(map[keys.VarID]float64)
 	e.countVars(assign, counts, probs)
-	best, bestN := "", 0
+	var best keys.VarID
+	bestN := 0
 	for v, n := range counts {
-		if n > bestN || (n == bestN && v < best) {
+		if n > bestN || (n == bestN && vars.Name(v) < vars.Name(best)) {
 			best, bestN = v, n
 		}
 	}
 	if bestN >= 2 {
 		return best, probs[best], true
 	}
-	return "", 0, false
+	return 0, 0, false
 }
 
-func (e *Expr) countVars(assign map[string]bool, counts map[string]int, probs map[string]float64) {
+func (e *Expr) countVars(assign map[keys.VarID]bool, counts map[keys.VarID]int, probs map[keys.VarID]float64) {
 	switch e.kind {
 	case KindVar:
 		if _, done := assign[e.id]; !done {
@@ -444,7 +473,7 @@ func (e *Expr) countVars(assign map[string]bool, counts map[string]int, probs ma
 
 // evalPartial attempts to decide the formula under the partial assignment.
 // known is true when the truth value no longer depends on free variables.
-func (e *Expr) evalPartial(assign map[string]bool) (value, known bool) {
+func (e *Expr) evalPartial(assign map[keys.VarID]bool) (value, known bool) {
 	switch e.kind {
 	case KindVar:
 		v, ok := assign[e.id]
@@ -472,7 +501,7 @@ func (e *Expr) evalPartial(assign map[string]bool) (value, known bool) {
 // probPartialIndependent evaluates probability treating assigned variables
 // as constants and the remaining (pairwise-distinct) variables as
 // independent.
-func (e *Expr) probPartialIndependent(assign map[string]bool) float64 {
+func (e *Expr) probPartialIndependent(assign map[keys.VarID]bool) float64 {
 	switch e.kind {
 	case KindVar:
 		if v, ok := assign[e.id]; ok {
@@ -499,15 +528,26 @@ func (e *Expr) Eval(assign map[string]bool) bool {
 	if e == nil {
 		return false
 	}
+	m := make(map[keys.VarID]bool, len(assign))
+	for name, v := range assign {
+		if id, ok := vars.Lookup(name); ok {
+			m[id] = v
+		}
+	}
+	return e.evalID(m)
+}
+
+// evalID is Eval over an interned assignment; missing ids are false.
+func (e *Expr) evalID(assign map[keys.VarID]bool) bool {
 	switch e.kind {
 	case KindVar:
 		return assign[e.id]
 	case KindNot:
-		return !e.left.Eval(assign)
+		return !e.left.evalID(assign)
 	case KindAnd:
-		return e.left.Eval(assign) && e.right.Eval(assign)
+		return e.left.evalID(assign) && e.right.evalID(assign)
 	default:
-		return e.left.Eval(assign) || e.right.Eval(assign)
+		return e.left.evalID(assign) || e.right.evalID(assign)
 	}
 }
 
@@ -519,24 +559,52 @@ type RNG interface {
 
 // ProbMonteCarlo estimates the marginal probability with n independent
 // possible-world samples. The standard error is at most 0.5/sqrt(n).
+// Sampling iterates variables in sorted-name order (not interning order),
+// so a fixed RNG seed reproduces the same worlds across processes.
 func (e *Expr) ProbMonteCarlo(n int, rng RNG) float64 {
 	if e == nil {
 		return 0
 	}
-	vars := e.Vars(nil)
-	probs := make(map[string]float64, len(vars))
-	e.varProbs(probs)
-	assign := make(map[string]bool, len(vars))
+	ids, probs := e.sortedVarIDs()
+	assign := make(map[keys.VarID]bool, len(ids))
 	hits := 0
 	for i := 0; i < n; i++ {
-		for _, v := range vars {
-			assign[v] = rng.Float64() < probs[v]
+		for j, id := range ids {
+			assign[id] = rng.Float64() < probs[j]
 		}
-		if e.Eval(assign) {
+		if e.evalID(assign) {
 			hits++
 		}
 	}
 	return float64(hits) / float64(n)
+}
+
+// sortedVarIDs returns the distinct variable ids of the formula in
+// sorted-name order, with the matching marginal probabilities.
+func (e *Expr) sortedVarIDs() ([]keys.VarID, []float64) {
+	names := e.Vars(nil)
+	ids := make([]keys.VarID, len(names))
+	probs := make([]float64, len(names))
+	pm := make(map[keys.VarID]float64, len(names))
+	e.varProbsID(pm)
+	for i, name := range names {
+		id, _ := vars.Lookup(name) // every formula variable is interned
+		ids[i] = id
+		probs[i] = pm[id]
+	}
+	return ids, probs
+}
+
+func (e *Expr) varProbsID(probs map[keys.VarID]float64) {
+	switch e.kind {
+	case KindVar:
+		probs[e.id] = e.prob
+	case KindNot:
+		e.left.varProbsID(probs)
+	default:
+		e.left.varProbsID(probs)
+		e.right.varProbsID(probs)
+	}
 }
 
 // VarProbs records the marginal probability of every variable occurring
@@ -553,7 +621,7 @@ func (e *Expr) VarProbs(probs map[string]float64) {
 func (e *Expr) varProbs(probs map[string]float64) {
 	switch e.kind {
 	case KindVar:
-		probs[e.id] = e.prob
+		probs[e.idName()] = e.prob
 	case KindNot:
 		e.left.varProbs(probs)
 	default:
@@ -569,29 +637,27 @@ func (e *Expr) ProbPossibleWorlds() float64 {
 	if e == nil {
 		return 0
 	}
-	vars := e.Vars(nil)
-	if len(vars) > 24 {
-		panic(fmt.Sprintf("lineage: possible-worlds enumeration over %d variables", len(vars)))
+	ids, probs := e.sortedVarIDs()
+	if len(ids) > 24 {
+		panic(fmt.Sprintf("lineage: possible-worlds enumeration over %d variables", len(ids)))
 	}
-	probs := make(map[string]float64, len(vars))
-	e.varProbs(probs)
-	assign := make(map[string]bool, len(vars))
+	assign := make(map[keys.VarID]bool, len(ids))
 	total := 0.0
-	for world := 0; world < 1<<uint(len(vars)); world++ {
+	for world := 0; world < 1<<uint(len(ids)); world++ {
 		wp := 1.0
-		for i, v := range vars {
+		for i, id := range ids {
 			on := world&(1<<uint(i)) != 0
-			assign[v] = on
+			assign[id] = on
 			if on {
-				wp *= probs[v]
+				wp *= probs[i]
 			} else {
-				wp *= 1 - probs[v]
+				wp *= 1 - probs[i]
 			}
 		}
 		if wp == 0 {
 			continue
 		}
-		if e.Eval(assign) {
+		if e.evalID(assign) {
 			total += wp
 		}
 	}

@@ -22,6 +22,15 @@
 //   - Tuple.Key caches the fact key lazily; concurrent code must not call
 //     it on shared, never-sorted relations (see the engine's concurrency
 //     notes) — construction through NewBase/NewDerived pre-fills it.
+//   - Fact keys are injective: attribute values containing the key
+//     separator (or escape byte) are escaped, so distinct facts can never
+//     alias one key.
+//   - Interning (Bind/Intern/InternAll, package keys): a relation bound
+//     to a fact dictionary compares tuples by packed (FactID, Ts, Te)
+//     integers. Ids are ranks over the sorted key set, so the integer
+//     order IS the canonical order; dict != nil implies every tuple is
+//     interned against it (Add maintains this, dropping the binding on
+//     unknown facts).
 //
 // Paper map: Defs. 1–2 (TP relation, duplicate-freeness, change
 // preservation), τ_t^p (§II), Table IV statistics (§VII-C), overlapping

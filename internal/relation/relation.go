@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"github.com/tpset/tpset/internal/interval"
+	"github.com/tpset/tpset/internal/keys"
 	"github.com/tpset/tpset/internal/lineage"
 )
 
@@ -33,14 +34,49 @@ type Fact []string
 // NewFact builds a fact from attribute values.
 func NewFact(values ...string) Fact { return Fact(values) }
 
-// Key returns a canonical string key for grouping and ordering. Values are
-// joined with an unlikely separator; for single-attribute facts the key is
-// the value itself.
+// keySep joins attribute values inside a fact key; keyEsc escapes
+// occurrences of either byte within a value, so the encoding is injective
+// (unique left-to-right parse: keyEsc consumes the next byte as a
+// literal, a bare keySep separates values).
+const (
+	keySep = '\x1f'
+	keyEsc = '\x1e'
+)
+
+// Key returns a canonical string key for grouping and ordering. Values
+// are joined with a separator; values containing the separator or escape
+// byte are escaped, so distinct facts can never alias one key (a value
+// containing "\x1f" used to collide with the value split at that byte).
+// For single-attribute facts the key is the value itself, which is
+// trivially injective.
 func (f Fact) Key() string {
 	if len(f) == 1 {
 		return f[0]
 	}
-	return strings.Join(f, "\x1f")
+	n, escape := 0, false
+	for _, v := range f {
+		n += len(v) + 1
+		if !escape && strings.ContainsAny(v, "\x1e\x1f") {
+			escape = true
+		}
+	}
+	if !escape {
+		return strings.Join(f, string(keySep))
+	}
+	var b strings.Builder
+	b.Grow(n + 4)
+	for i, v := range f {
+		if i > 0 {
+			b.WriteByte(keySep)
+		}
+		for j := 0; j < len(v); j++ {
+			if v[j] == keySep || v[j] == keyEsc {
+				b.WriteByte(keyEsc)
+			}
+			b.WriteByte(v[j])
+		}
+	}
+	return b.String()
 }
 
 // Equal reports value equality of two facts.
@@ -68,13 +104,78 @@ func (f Fact) String() string {
 // Tuple is a TP tuple (F, λ, T, p). Prob caches the probabilistic valuation
 // of Lineage; for base tuples it is the base probability, for derived tuples
 // it is filled by the operators (linear-time for 1OF lineage).
+//
+// A tuple may additionally be interned against a keys.Dict (fid/dict):
+// when two tuples carry the same non-nil dict, their facts compare by
+// FactID — a single integer compare — instead of by key string. The
+// invariant is that fid == dict.ID(Fact.Key()) whenever dict is non-nil;
+// Relation.Bind establishes it and every comparison helper falls back to
+// the string key when the dictionaries differ or are absent.
 type Tuple struct {
 	Fact    Fact
 	Lineage *lineage.Expr
 	T       interval.Interval
 	Prob    float64
 
-	key string // cached Fact.Key()
+	key  string      // cached Fact.Key()
+	fid  keys.FactID // interned fact id, valid iff dict != nil
+	dict *keys.Dict
+}
+
+// FactKey is the comparison key of a tuple's fact: the canonical key
+// string plus, when interned, the dictionary id that collapses ordering
+// to an integer compare. It is a small value type that the window
+// advancer and operator cursors thread through the execution stack so
+// derived tuples inherit their inputs' interning.
+type FactKey struct {
+	key  string
+	id   keys.FactID
+	dict *keys.Dict
+}
+
+// FactKey returns the tuple's comparison key.
+func (t *Tuple) FactKey() FactKey {
+	return FactKey{key: t.Key(), id: t.fid, dict: t.dict}
+}
+
+// Interned reports whether the key carries a dictionary id.
+func (k FactKey) Interned() bool { return k.dict != nil }
+
+// String returns the canonical key string.
+func (k FactKey) String() string { return k.key }
+
+// Equal reports fact equality: an integer compare when both keys are
+// interned against the same dictionary, a string compare otherwise.
+func (k FactKey) Equal(o FactKey) bool {
+	if k.dict != nil && k.dict == o.dict {
+		return k.id == o.id
+	}
+	return k.key == o.key
+}
+
+// Less reports canonical fact order. Dictionary ids are ranks over the
+// sorted key set, so the integer compare and the string compare agree.
+func (k FactKey) Less(o FactKey) bool {
+	if k.dict != nil && k.dict == o.dict {
+		return k.id < o.id
+	}
+	return k.key < o.key
+}
+
+// InternedID returns the tuple's interned fact id and whether the tuple
+// is interned at all. The engine's fact-hash partitioning hashes the id
+// instead of the key string when an operation's inputs share one
+// dictionary; the read is side-effect free, so it is safe on relations
+// shared across concurrent operations.
+func (t *Tuple) InternedID() (keys.FactID, bool) { return t.fid, t.dict != nil }
+
+// SameFact reports whether two tuples hold the same fact, using the
+// interned fast path when available.
+func SameFact(a, b *Tuple) bool {
+	if a.dict != nil && a.dict == b.dict {
+		return a.fid == b.fid
+	}
+	return a.Key() == b.Key()
 }
 
 // NewBase returns a base tuple: its lineage is the atomic variable id with
@@ -104,6 +205,14 @@ func NewDerivedLazy(fact Fact, lam *lineage.Expr, iv interval.Interval) Tuple {
 	return Tuple{Fact: fact, Lineage: lam, T: iv, key: fact.Key()}
 }
 
+// NewDerivedLazyKeyed is NewDerivedLazy with a precomputed comparison
+// key: the derived tuple reuses the key string and inherits the interning
+// of the input tuple the key came from, so operator output stays on the
+// integer-compare path without re-deriving or re-interning anything.
+func NewDerivedLazyKeyed(fact Fact, k FactKey, lam *lineage.Expr, iv interval.Interval) Tuple {
+	return Tuple{Fact: fact, Lineage: lam, T: iv, key: k.key, fid: k.id, dict: k.dict}
+}
+
 // Key returns the cached canonical fact key.
 func (t *Tuple) Key() string {
 	if t.key == "" && len(t.Fact) > 0 {
@@ -126,9 +235,17 @@ func (t Tuple) String() string {
 // Relation is a finite set of TP tuples over a schema. The tuple order is
 // not semantically meaningful; Sort establishes the (fact, Ts) order the
 // sweep algorithms require.
+//
+// A relation may be bound to a fact dictionary (Bind, Intern, InternAll):
+// then every tuple carries its FactID and the sort, duplicate check and
+// coalescing run on integer compares. dict != nil implies every tuple is
+// interned against it; Add maintains the invariant by interning appended
+// tuples (or dropping the binding when a fact is unknown to the dict).
 type Relation struct {
 	Schema Schema
 	Tuples []Tuple
+
+	dict *keys.Dict
 }
 
 // New returns an empty relation with the given schema.
@@ -138,7 +255,107 @@ func New(schema Schema) *Relation {
 
 // Add appends a tuple. The caller is responsible for keeping the relation
 // duplicate-free; ValidateDuplicateFree checks the invariant.
-func (r *Relation) Add(t Tuple) { r.Tuples = append(r.Tuples, t) }
+func (r *Relation) Add(t Tuple) {
+	if r.dict != nil && t.dict != r.dict {
+		if id, ok := r.dict.ID(t.Key()); ok {
+			t.fid, t.dict = id, r.dict
+		} else {
+			r.dict = nil
+		}
+	}
+	r.Tuples = append(r.Tuples, t)
+}
+
+// Dict returns the dictionary the relation is bound to, or nil.
+func (r *Relation) Dict() *keys.Dict { return r.dict }
+
+// Bind interns every tuple against d and binds the relation, enabling
+// the integer-compare paths. It reports whether every fact was present
+// in d; on a miss the relation is left unbound (tuples seen before the
+// miss keep a valid per-tuple interning, which is always self-consistent).
+// Binding never reorders tuples, and because dictionaries are
+// order-preserving a sorted relation stays sorted across rebinding.
+func (r *Relation) Bind(d *keys.Dict) bool {
+	if d == nil {
+		r.Unbind()
+		return false
+	}
+	for i := range r.Tuples {
+		t := &r.Tuples[i]
+		id, ok := d.ID(t.Key())
+		if !ok {
+			r.dict = nil
+			return false
+		}
+		t.fid, t.dict = id, d
+	}
+	r.dict = d
+	return true
+}
+
+// Unbind clears the relation's and every tuple's interning; comparisons
+// fall back to key strings. The pre-interning execution stack is exactly
+// the unbound one, which the cross-validation suite and the
+// intern-vs-string benchmark exercise through this switch.
+func (r *Relation) Unbind() {
+	r.dict = nil
+	for i := range r.Tuples {
+		r.Tuples[i].fid, r.Tuples[i].dict = 0, nil
+	}
+}
+
+// Intern builds a dictionary over the relation's own facts, binds the
+// relation to it and returns it — the ingest-time entry point (csvio,
+// datagen, catalog admission).
+func (r *Relation) Intern() *keys.Dict {
+	ks := make([]string, len(r.Tuples))
+	for i := range r.Tuples {
+		ks[i] = r.Tuples[i].Key()
+	}
+	d := keys.BuildDict(ks)
+	r.Bind(d)
+	return d
+}
+
+// InternAll builds one shared dictionary over the facts of all given
+// relations and binds each to it. Sharing one dictionary is what makes
+// cross-relation comparisons — the window advancer, fact-hash
+// partitioning, k-way merges — integer-only across a whole query tree.
+func InternAll(rels ...*Relation) *keys.Dict {
+	var ks []string
+	for _, r := range rels {
+		for i := range r.Tuples {
+			ks = append(ks, r.Tuples[i].Key())
+		}
+	}
+	d := keys.BuildDict(ks)
+	for _, r := range rels {
+		r.Bind(d)
+	}
+	return d
+}
+
+// AdoptBinding rebinds the relation to d when every tuple is already
+// interned against it (a cheap pointer scan), and unsets the relation
+// dict otherwise. Materialize uses it so operator output over same-dict
+// inputs comes out bound without any map lookups.
+func (r *Relation) AdoptBinding() {
+	if len(r.Tuples) == 0 {
+		return
+	}
+	d := r.Tuples[0].dict
+	if d == nil {
+		r.dict = nil
+		return
+	}
+	for i := 1; i < len(r.Tuples); i++ {
+		if r.Tuples[i].dict != d {
+			r.dict = nil
+			return
+		}
+	}
+	r.dict = d
+}
 
 // AddBase appends a base tuple with a fresh identifier id and probability p.
 func (r *Relation) AddBase(fact Fact, id string, ts, te interval.Time, p float64) {
@@ -148,19 +365,26 @@ func (r *Relation) AddBase(fact Fact, id string, ts, te interval.Time, p float64
 // Len returns the number of tuples.
 func (r *Relation) Len() int { return len(r.Tuples) }
 
-// Clone returns a deep copy of the relation's tuple slice (lineage trees are
-// shared: they are immutable).
+// Clone returns a deep copy of the relation's tuple slice (lineage trees
+// are shared: they are immutable). The interning binding is carried over.
 func (r *Relation) Clone() *Relation {
-	out := &Relation{Schema: r.Schema, Tuples: make([]Tuple, len(r.Tuples))}
+	out := &Relation{Schema: r.Schema, Tuples: make([]Tuple, len(r.Tuples)), dict: r.dict}
 	copy(out.Tuples, r.Tuples)
 	return out
 }
 
 // Less is the canonical tuple order (fact key, Ts, Te) used by Sort and by
 // the engine's shard-output merge; sharing one comparator keeps the merged
-// parallel output bit-identical to the sequentially sorted order.
+// parallel output bit-identical to the sequentially sorted order. When
+// both tuples are interned against one dictionary the fact compare is a
+// single integer compare — the packed (FactID, Ts, Te) order — which
+// agrees with the string order because ids are ranks over the sorted keys.
 func Less(a, b *Tuple) bool {
-	if ak, bk := a.Key(), b.Key(); ak != bk {
+	if a.dict != nil && a.dict == b.dict {
+		if a.fid != b.fid {
+			return a.fid < b.fid
+		}
+	} else if ak, bk := a.Key(), b.Key(); ak != bk {
 		return ak < bk
 	}
 	if a.T.Ts != b.T.Ts {
@@ -170,8 +394,22 @@ func Less(a, b *Tuple) bool {
 }
 
 // Sort orders tuples by (fact key, Ts, Te). This is the sort step of Fig. 5
-// in the paper and a precondition of the window advancer.
+// in the paper and a precondition of the window advancer. A bound
+// relation sorts with the pure three-integer comparator.
 func (r *Relation) Sort() {
+	if r.dict != nil {
+		sort.Slice(r.Tuples, func(i, j int) bool {
+			a, b := &r.Tuples[i], &r.Tuples[j]
+			if a.fid != b.fid {
+				return a.fid < b.fid
+			}
+			if a.T.Ts != b.T.Ts {
+				return a.T.Ts < b.T.Ts
+			}
+			return a.T.Te < b.T.Te
+		})
+		return
+	}
 	sort.Slice(r.Tuples, func(i, j int) bool {
 		return Less(&r.Tuples[i], &r.Tuples[j])
 	})
@@ -179,6 +417,15 @@ func (r *Relation) Sort() {
 
 // IsSorted reports whether the relation is in (fact, Ts) order.
 func (r *Relation) IsSorted() bool {
+	if r.dict != nil {
+		return sort.SliceIsSorted(r.Tuples, func(i, j int) bool {
+			a, b := &r.Tuples[i], &r.Tuples[j]
+			if a.fid != b.fid {
+				return a.fid < b.fid
+			}
+			return a.T.Ts < b.T.Ts
+		})
+	}
 	return sort.SliceIsSorted(r.Tuples, func(i, j int) bool {
 		a, b := &r.Tuples[i], &r.Tuples[j]
 		if ak, bk := a.Key(), b.Key(); ak != bk {
@@ -192,6 +439,22 @@ func (r *Relation) IsSorted() bool {
 // share a fact over overlapping intervals. It returns a descriptive error
 // naming the first violating pair, or nil.
 func (r *Relation) ValidateDuplicateFree() error {
+	if r.dict != nil {
+		// Bound relation: group by interned id — integer map keys, and no
+		// key recomputation at all (fids are read-only here, so sharing
+		// the relation across concurrent validators stays race-free).
+		byID := make(map[keys.FactID][]interval.Interval, len(r.Tuples))
+		for i := range r.Tuples {
+			t := &r.Tuples[i]
+			byID[t.fid] = append(byID[t.fid], t.T)
+		}
+		for id, ivs := range byID {
+			if err := overlapIn(ivs); err != nil {
+				return fmt.Errorf("relation %s: duplicate fact %q over %w", r.Schema.Name, r.dict.Key(id), err)
+			}
+		}
+		return nil
+	}
 	byFact := make(map[string][]interval.Interval, len(r.Tuples))
 	for i := range r.Tuples {
 		t := &r.Tuples[i]
@@ -202,12 +465,20 @@ func (r *Relation) ValidateDuplicateFree() error {
 		byFact[k] = append(byFact[k], t.T)
 	}
 	for key, ivs := range byFact {
-		sort.Slice(ivs, func(i, j int) bool { return ivs[i].Ts < ivs[j].Ts })
-		for i := 1; i < len(ivs); i++ {
-			if ivs[i].Ts < ivs[i-1].Te {
-				return fmt.Errorf("relation %s: duplicate fact %q over overlapping intervals %s and %s",
-					r.Schema.Name, key, ivs[i-1], ivs[i])
-			}
+		if err := overlapIn(ivs); err != nil {
+			return fmt.Errorf("relation %s: duplicate fact %q over %w", r.Schema.Name, key, err)
+		}
+	}
+	return nil
+}
+
+// overlapIn sorts the intervals and returns an error naming the first
+// overlapping pair, or nil.
+func overlapIn(ivs []interval.Interval) error {
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Ts < ivs[j].Ts })
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i].Ts < ivs[i-1].Te {
+			return fmt.Errorf("overlapping intervals %s and %s", ivs[i-1], ivs[i])
 		}
 	}
 	return nil
@@ -232,6 +503,7 @@ func (r *Relation) TimeDomain() (interval.Interval, bool) {
 // degenerate interval [t, t+1).
 func (r *Relation) Timeslice(t interval.Time) *Relation {
 	out := New(r.Schema)
+	out.dict = r.dict
 	for i := range r.Tuples {
 		tp := &r.Tuples[i]
 		if tp.T.Contains(t) {
@@ -268,7 +540,7 @@ func (r *Relation) Coalesce() *Relation {
 	for _, t := range out.Tuples {
 		if n := len(merged); n > 0 {
 			last := &merged[n-1]
-			if last.Key() == t.Key() && last.T.Te == t.T.Ts &&
+			if SameFact(last, &t) && last.T.Te == t.T.Ts &&
 				lineage.EquivalentSyntactic(last.Lineage, t.Lineage) {
 				last.T.Te = t.T.Te
 				continue
@@ -299,7 +571,7 @@ func Diff(a, b *Relation) string {
 	for i := range as.Tuples {
 		x, y := &as.Tuples[i], &bs.Tuples[i]
 		switch {
-		case x.Key() != y.Key():
+		case !SameFact(x, y):
 			return fmt.Sprintf("tuple %d: fact %s vs %s", i, x.Fact, y.Fact)
 		case x.T != y.T:
 			return fmt.Sprintf("tuple %d (%s): interval %s vs %s", i, x.Fact, x.T, y.T)

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"github.com/tpset/tpset/internal/interval"
+	"github.com/tpset/tpset/internal/keys"
 )
 
 // SortCounting orders the relation by (fact, Ts) using a counting sort on
@@ -19,22 +20,41 @@ import (
 func (r *Relation) SortCounting() {
 	const maxSpread = 16
 
-	// Group tuple indexes by fact.
-	groups := make(map[string][]int32, 64)
-	for i := range r.Tuples {
-		k := r.Tuples[i].Key()
-		groups[k] = append(groups[k], int32(i))
+	// Group tuple indexes by fact. A bound relation groups by interned id
+	// (integer map keys, id order == key order); otherwise by key string.
+	var order [][]int32
+	if r.dict != nil {
+		groups := make(map[keys.FactID][]int32, 64)
+		for i := range r.Tuples {
+			groups[r.Tuples[i].fid] = append(groups[r.Tuples[i].fid], int32(i))
+		}
+		ids := make([]keys.FactID, 0, len(groups))
+		for id := range groups {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, id := range ids {
+			order = append(order, groups[id])
+		}
+	} else {
+		groups := make(map[string][]int32, 64)
+		for i := range r.Tuples {
+			k := r.Tuples[i].Key()
+			groups[k] = append(groups[k], int32(i))
+		}
+		ks := make([]string, 0, len(groups))
+		for k := range groups {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		for _, k := range ks {
+			order = append(order, groups[k])
+		}
 	}
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
 
 	out := make([]Tuple, 0, len(r.Tuples))
 	var counts []int32
-	for _, k := range keys {
-		idxs := groups[k]
+	for _, idxs := range order {
 		lo, hi := r.Tuples[idxs[0]].T.Ts, r.Tuples[idxs[0]].T.Ts
 		for _, i := range idxs[1:] {
 			ts := r.Tuples[i].T.Ts

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/tpset/tpset/internal/keys"
 	"github.com/tpset/tpset/internal/relation"
 )
 
@@ -26,10 +27,23 @@ type RelVersion struct {
 // Stored relations are treated as immutable; Put replaces the pointer.
 // Callers receiving a *relation.Relation from the catalog must not mutate
 // it.
+//
+// The catalog additionally maintains one catalog-wide fact dictionary:
+// every stored relation is bound to it at admission, so any query over
+// any subset of relations runs entirely on interned integer compares —
+// the advancer, sorts, fact-hash partitioning and k-way merges never
+// touch a key string. Admission of facts the dictionary has not seen
+// rebuilds it and rebinds the other relations onto content-identical
+// clones (admission-time cost, query-time benefit); in-flight snapshots
+// keep their previous, mutually consistent pointers. The dictionary may
+// be a superset of the facts currently stored — binding only requires
+// presence, and order preservation is unaffected by unused keys — so
+// drops never force a rebuild.
 type Catalog struct {
 	mu    sync.RWMutex
 	rels  map[string]catEntry
 	clock uint64
+	dict  *keys.Dict
 }
 
 type catEntry struct {
@@ -45,14 +59,65 @@ func NewCatalog() *Catalog {
 // Put loads or replaces the relation under name, returning its new
 // version and whether the name already existed (decided under the same
 // write lock, so concurrent Puts report create-vs-replace consistently).
-// The relation must not be mutated afterwards.
+// Admission binds rel to the catalog-wide fact dictionary (rebuilding it
+// when rel brings genuinely new facts), so the relation — including the
+// caller's pointer — must not be mutated afterwards.
 func (c *Catalog) Put(name string, rel *relation.Relation) (version uint64, existed bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.admit(name, rel)
 	_, existed = c.rels[name]
 	c.clock++
 	c.rels[name] = catEntry{rel: rel, version: c.clock}
 	return c.clock, existed
+}
+
+// admit binds rel to the catalog dictionary. Fast path: every fact of
+// rel is already a dictionary key — bind and done. Slow path: rebuild
+// the dictionary over the facts of rel plus all currently stored
+// relations (which also prunes keys of dropped or replaced facts) and
+// rebind every stored relation via a content-identical clone; versions
+// are unchanged because the logical relation content is unchanged.
+// Rebinding preserves sortedness: both dictionaries order ids by key.
+func (c *Catalog) admit(name string, rel *relation.Relation) {
+	relKeys := factKeys(rel, nil)
+	if c.dict != nil && c.dict.Contains(relKeys) {
+		rel.Bind(c.dict)
+		return
+	}
+	union := relKeys
+	for other, e := range c.rels {
+		if other == name {
+			continue // being replaced; its facts need not survive
+		}
+		union = factKeys(e.rel, union)
+	}
+	dict := keys.BuildDict(union)
+	rel.Bind(dict)
+	for other, e := range c.rels {
+		if other == name {
+			continue
+		}
+		clone := e.rel.Clone()
+		clone.Bind(dict)
+		c.rels[other] = catEntry{rel: clone, version: e.version}
+	}
+	c.dict = dict
+}
+
+// factKeys appends the fact keys of r to dst, skipping consecutive
+// repeats — stored catalog relations are sorted, so this yields the
+// distinct key set without a dedup map (BuildDict tolerates the
+// remaining duplicates of unsorted input).
+func factKeys(r *relation.Relation, dst []string) []string {
+	for i := range r.Tuples {
+		k := r.Tuples[i].Key()
+		if n := len(dst); n > 0 && dst[n-1] == k {
+			continue
+		}
+		dst = append(dst, k)
+	}
+	return dst
 }
 
 // Get returns the relation under name and its version.

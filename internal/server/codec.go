@@ -107,6 +107,10 @@ func DecodeRelation(rj RelationJSON, name string) (*relation.Relation, error) {
 		}
 		rel.Add(t)
 	}
+	// Intern before sorting: ids are constructed once at the wire
+	// boundary and the sort runs on integer compares (catalog admission
+	// rebinds to the catalog-wide dictionary, which preserves the order).
+	rel.Intern()
 	rel.Sort()
 	return rel, nil
 }
@@ -115,6 +119,14 @@ func decodeTuple(tj TupleJSON, nattrs int) (relation.Tuple, error) {
 	var zero relation.Tuple
 	if len(tj.Fact) != nattrs {
 		return zero, fmt.Errorf("fact has %d values, schema has %d attributes", len(tj.Fact), nattrs)
+	}
+	for i, v := range tj.Fact {
+		if v == "" {
+			// Same admission rule as csvio.Read: an empty value would give
+			// single-attribute facts the empty comparison key, which the
+			// advancer cannot distinguish from its fresh-state sentinel.
+			return zero, fmt.Errorf("empty fact value at attribute %d", i)
+		}
 	}
 	if tj.Ts >= tj.Te {
 		return zero, fmt.Errorf("empty interval [%d,%d)", tj.Ts, tj.Te)

@@ -123,6 +123,7 @@ func TestDecodeRelationErrors(t *testing.T) {
 		{"no name", func(r *RelationJSON) { r.Name = "" }, "no name"},
 		{"no attrs", func(r *RelationJSON) { r.Attrs = nil }, "at least one attribute"},
 		{"fact arity", func(r *RelationJSON) { r.Tuples[0].Fact = []string{"a", "b"} }, "2 values"},
+		{"empty fact value", func(r *RelationJSON) { r.Tuples[0].Fact = []string{""} }, "empty fact value"},
 		{"empty interval", func(r *RelationJSON) { r.Tuples[0].Te = 1 }, "empty interval"},
 		{"bad prob", func(r *RelationJSON) { r.Tuples[0].Prob = 1.5 }, "outside [0,1]"},
 		{"unparsable lineage", func(r *RelationJSON) { r.Tuples[0].Lineage = "x1∧" }, "lineage"},

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -49,6 +50,37 @@ type Server struct {
 // rejected with 400 rather than passed through to the engine.
 const MaxWorkers = 4096
 
+// Request bodies are bounded before they reach the JSON decoder, so an
+// oversized (or unbounded) body cannot balloon server memory; overflow
+// is reported as 413 Request Entity Too Large. Queries are short text —
+// a megabyte is generous; relation uploads carry full tuple payloads and
+// get a correspondingly larger bound.
+const (
+	// MaxQueryBodyBytes bounds POST /query and POST /query/stream bodies.
+	MaxQueryBodyBytes = 1 << 20 // 1 MiB
+	// MaxRelationBodyBytes bounds PUT /relations/{name} bodies.
+	MaxRelationBodyBytes = 256 << 20 // 256 MiB
+)
+
+// maxRelationBody is the effective PUT limit; a variable so tests can
+// exercise the overflow path without a multi-hundred-megabyte payload.
+var maxRelationBody int64 = MaxRelationBodyBytes
+
+// decodeBody decodes the request body into v under a byte limit,
+// mapping overflow to a 413 httpError and malformed JSON to 400.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) *httpError {
+	body := http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return &httpError{http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)}
+		}
+		return &httpError{http.StatusBadRequest, fmt.Sprintf("decoding body: %v", err)}
+	}
+	return nil
+}
+
 // New returns a server with an empty catalog.
 func New(cfg Config) *Server {
 	size := cfg.CacheSize
@@ -92,6 +124,10 @@ func (s *Server) Load(name string, rel *relation.Relation) (uint64, error) {
 	if !query.IsIdent(name) {
 		return 0, fmt.Errorf("invalid relation name %q: must be an identifier of the query grammar (letters, digits, _, non-leading dots; not a reserved word)", name)
 	}
+	// Intern first: the duplicate check then groups by integer id and the
+	// sort runs on packed integer compares; catalog admission (Put)
+	// rebinds to the catalog-wide dictionary, preserving the order.
+	rel.Intern()
 	if err := rel.ValidateDuplicateFree(); err != nil {
 		return 0, err
 	}
@@ -315,8 +351,8 @@ func (s *Server) handlePutRelation(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var rj RelationJSON
-	if err := json.NewDecoder(r.Body).Decode(&rj); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding body: %v", err))
+	if he := decodeBody(w, r, maxRelationBody, &rj); he != nil {
+		writeError(w, he.status, he.msg)
 		return
 	}
 	rel, err := DecodeRelation(rj, name)
@@ -377,8 +413,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding body: %v", err))
+	if he := decodeBody(w, r, MaxQueryBodyBytes, &req); he != nil {
+		writeError(w, he.status, he.msg)
 		return
 	}
 	resp, err := s.RunQuery(req)

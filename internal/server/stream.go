@@ -2,7 +2,6 @@ package server
 
 import (
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"time"
 
@@ -54,8 +53,8 @@ type StreamTrailer struct {
 
 func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding body: %v", err))
+	if he := decodeBody(w, r, MaxQueryBodyBytes, &req); he != nil {
+		writeError(w, he.status, he.msg)
 		return
 	}
 	pq, err := s.prepare(req)
