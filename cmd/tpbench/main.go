@@ -40,6 +40,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "generator seed")
 		workers  = flag.Int("workers", 0, "worker budget for the parallel-engine experiments (0 = GOMAXPROCS)")
 		csvDir   = flag.String("csv", "", "also write <dir>/<exp>.csv files")
+		jsonPath = flag.String("json", "", "also write every run experiment as machine-readable JSON to this file")
 		quiet    = flag.Bool("q", false, "suppress per-run progress lines")
 		speedups = flag.Bool("speedups", false, "print who-wins-by-what-factor digest per experiment")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
@@ -100,6 +101,7 @@ func main() {
 	if !*quiet {
 		cfg.Progress = os.Stderr
 	}
+	var results []bench.Result
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		exp, ok := bench.ExperimentByName(name)
@@ -111,6 +113,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "running %s: %s\n", exp.Name, exp.Title)
 		}
 		res := exp.Run(cfg)
+		results = append(results, res)
 		res.Print(os.Stdout)
 		if *speedups {
 			if s := res.SpeedupTable(); s != "" {
@@ -133,6 +136,21 @@ func main() {
 				fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
 				os.Exit(1)
 			}
+		}
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpbench: -json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteJSON(f, results); err != nil {
+			fmt.Fprintf(os.Stderr, "tpbench: -json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "tpbench: -json: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestBatchVsTupleTiny runs a cut-down batch-vs-tuple sweep end to end:
+// every pipeline must produce identical cardinalities at every point
+// (they are the same query over the same inputs through different
+// transports), the serve pipelines must report sink writes, and the
+// batched serve pipeline must issue far fewer writes than the
+// tuple-at-a-time one.
+func TestBatchVsTupleTiny(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Scale = 0.01
+
+	res := BatchVsTuple(cfg)
+	if res.Name != "batch-vs-tuple" || len(res.Series) != 5 {
+		t.Fatalf("shape: %q with %d series", res.Name, len(res.Series))
+	}
+	points := len(res.Series[0].Cells)
+	if points == 0 {
+		t.Fatal("no points")
+	}
+	for _, s := range res.Series[1:] {
+		if len(s.Cells) != points {
+			t.Fatalf("series %s has %d cells, want %d", s.Approach, len(s.Cells), points)
+		}
+		for i, c := range s.Cells {
+			if c.Skipped || res.Series[0].Cells[i].Skipped {
+				continue
+			}
+			if c.Output != res.Series[0].Cells[i].Output {
+				t.Errorf("%s %s: output %d, tuple pipeline %d",
+					s.Approach, c.Label, c.Output, res.Series[0].Cells[i].Output)
+			}
+		}
+	}
+	// serve-tuple writes once per tuple; serve-batch per buffer fill.
+	st, sb := res.Series[3], res.Series[4]
+	for i := range st.Cells {
+		if st.Cells[i].Skipped || sb.Cells[i].Skipped || st.Cells[i].Output == 0 {
+			continue
+		}
+		if st.Cells[i].Writes < st.Cells[i].Output {
+			t.Errorf("%s: serve-tuple wrote %d times for %d tuples; expected one write per tuple",
+				st.Cells[i].Label, st.Cells[i].Writes, st.Cells[i].Output)
+		}
+		if sb.Cells[i].Writes*10 > st.Cells[i].Writes {
+			t.Errorf("%s: serve-batch wrote %d times vs serve-tuple %d; batching should amortize writes",
+				sb.Cells[i].Label, sb.Cells[i].Writes, st.Cells[i].Writes)
+		}
+	}
+
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "batch-vs-tuple") {
+		t.Errorf("print output lacks experiment name:\n%s", buf.String())
+	}
+}
+
+// TestWriteJSON pins the machine-readable output shape tpbench -json
+// and the CI bench gate consume.
+func TestWriteJSON(t *testing.T) {
+	cfg := tinyCfg()
+	res := Table2(cfg)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiments []ResultJSON `json:"experiments"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.Experiments) != 1 || doc.Experiments[0].Name != "table2" {
+		t.Fatalf("round-trip: %+v", doc)
+	}
+	if doc.Experiments[0].Series == nil {
+		t.Fatal("series must be [] rather than null for downstream jq")
+	}
+}

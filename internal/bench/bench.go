@@ -94,6 +94,12 @@ type Cell struct {
 	// AllocBytes is the heap allocated during the run (memstats TotalAlloc
 	// delta); only the memory-profiling experiments fill it.
 	AllocBytes uint64
+	// Mallocs is the number of heap allocations during the run (memstats
+	// Mallocs delta); filled alongside AllocBytes.
+	Mallocs uint64
+	// Writes counts sink writes (network-write stand-ins) during the
+	// run; only the batch-vs-tuple serve pipelines fill it.
+	Writes int
 	// FirstTuple is the time until the first output tuple was available;
 	// only the streaming experiments fill it (a materializing run's first
 	// tuple arrives with its last).

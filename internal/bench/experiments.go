@@ -68,6 +68,7 @@ func Experiments() []Experiment {
 		{"serve-cache", "Query service: cold evaluation vs result-cache hit (∩Tp)", ServeCache},
 		{"stream-vs-materialize", "Cursor executor vs materializing evaluator: depth sweep (alloc + TTFT)", StreamVsMaterialize},
 		{"intern-vs-string", "Interned (FactID) vs string tuple keys: sort + LAWA wall time and allocations", InternVsString},
+		{"batch-vs-tuple", "Batched vs tuple-at-a-time execution: engine stream + NDJSON serve pipelines", BatchVsTuple},
 	}
 }
 

@@ -121,7 +121,7 @@ func InternVsString(cfg Config) Result {
 			var best Cell
 			for rep := 0; rep < reps; rep++ {
 				var out *relation.Relation
-				d, alloc := measureAlloc(func() {
+				d, alloc, mallocs := measureAlloc(func() {
 					var err error
 					out, err = core.Intersect(run.r, run.s, run.opts)
 					if err != nil {
@@ -129,7 +129,7 @@ func InternVsString(cfg Config) Result {
 					}
 				})
 				if rep == 0 || d < best.Duration {
-					best = Cell{X: row.OverlapFactor, Label: label, Duration: d, Output: out.Len(), AllocBytes: alloc}
+					best = Cell{X: row.OverlapFactor, Label: label, Duration: d, Output: out.Len(), AllocBytes: alloc, Mallocs: mallocs}
 				}
 			}
 			series[i].Cells = append(series[i].Cells, best)

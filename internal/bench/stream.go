@@ -56,10 +56,10 @@ func streamDB(depth, n int, seed int64) map[string]*relation.Relation {
 	return db
 }
 
-// measureAlloc runs f and returns its duration and allocated bytes
-// (cumulative heap allocation delta, which is exact regardless of GC
-// timing).
-func measureAlloc(f func()) (time.Duration, uint64) {
+// measureAlloc runs f and returns its duration, allocated bytes and
+// allocation count (cumulative heap deltas, which are exact regardless
+// of GC timing).
+func measureAlloc(f func()) (time.Duration, uint64, uint64) {
 	var m0, m1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&m0)
@@ -67,7 +67,7 @@ func measureAlloc(f func()) (time.Duration, uint64) {
 	f()
 	d := time.Since(start)
 	runtime.ReadMemStats(&m1)
-	return d, m1.TotalAlloc - m0.TotalAlloc
+	return d, m1.TotalAlloc - m0.TotalAlloc, m1.Mallocs - m0.Mallocs
 }
 
 // StreamVsMaterialize sweeps query-tree depth at fixed per-relation size
@@ -89,7 +89,7 @@ func StreamVsMaterialize(cfg Config) Result {
 			mat.Cells = append(mat.Cells, Cell{X: float64(depth), Label: label, Skipped: true})
 		} else {
 			var out *relation.Relation
-			d, alloc := measureAlloc(func() {
+			d, alloc, mallocs := measureAlloc(func() {
 				var err error
 				out, err = query.EvaluateWith(tree, db, query.AlgoLAWA)
 				if err != nil {
@@ -98,7 +98,7 @@ func StreamVsMaterialize(cfg Config) Result {
 			})
 			matOut = out.Len()
 			mat.Cells = append(mat.Cells, Cell{
-				X: float64(depth), Label: label, Duration: d, Output: matOut, AllocBytes: alloc,
+				X: float64(depth), Label: label, Duration: d, Output: matOut, AllocBytes: alloc, Mallocs: mallocs,
 			})
 			if cfg.Progress != nil {
 				fmt.Fprintf(cfg.Progress, "  %-12s %-6s %12s  %8.1fMB  out=%d\n",
@@ -112,7 +112,7 @@ func StreamVsMaterialize(cfg Config) Result {
 		}
 		var count int
 		var firstTuple time.Duration
-		d, alloc := measureAlloc(func() {
+		d, alloc, mallocs := measureAlloc(func() {
 			// The first-tuple clock covers plan build too: a real client
 			// waits for the leaf clone+sort before the first row arrives.
 			start := time.Now()
@@ -134,7 +134,7 @@ func StreamVsMaterialize(cfg Config) Result {
 		})
 		str.Cells = append(str.Cells, Cell{
 			X: float64(depth), Label: label, Duration: d, Output: count,
-			AllocBytes: alloc, FirstTuple: firstTuple,
+			AllocBytes: alloc, Mallocs: mallocs, FirstTuple: firstTuple,
 		})
 		if cfg.Progress != nil {
 			fmt.Fprintf(cfg.Progress, "  %-12s %-6s %12s  %8.1fMB  out=%d  first=%s\n",

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// Batched (vectorized) cursor execution. A Batch is a block of tuples in
+// canonical (fact, Ts, Te) order — the unit the execution stack moves
+// around instead of single tuples wherever per-tuple costs would
+// otherwise dominate: interface calls inside a cursor plan, channel
+// operations between the engine's shard goroutines and its merge, and
+// encoder/flush calls on the NDJSON stream. Amortizing those costs over
+// ~BatchSize tuples is the MonetDB/X100 observation; the tuple-at-a-time
+// Cursor API stays intact on top of it (every BatchCursor is a Cursor),
+// so callers opt into blocks without a second execution semantics.
+
+// BatchSize is the default tuple capacity of a pooled batch. Large
+// enough that per-batch costs (one interface call, one channel op, one
+// flush decision) are amortized ~1000x; small enough that a batch of
+// tuples (~100 B each) stays comfortably inside L2 and time-to-first-
+// tuple remains a sub-millisecond concern.
+const BatchSize = 1024
+
+// Batch is a reusable block of tuples. Tuples is the window consumers
+// read; it either aliases caller-owned memory (a zero-copy scan
+// sub-window) or the batch's own pooled storage — producers decide per
+// fill, consumers cannot tell the difference and must treat the tuples
+// as read-only until they copy them out.
+type Batch struct {
+	Tuples []relation.Tuple
+
+	// own is the pooled backing array. Reset points Tuples at it; alias
+	// fills (ScanCursor) leave it untouched so the pool never loses its
+	// storage to a foreign slice.
+	own []relation.Tuple
+}
+
+// NewBatch returns an unpooled batch with the given tuple capacity —
+// tests use tiny capacities to force mid-batch boundaries; everything
+// else takes pooled BatchSize batches from GetBatch.
+func NewBatch(capacity int) *Batch {
+	return &Batch{own: make([]relation.Tuple, 0, capacity)}
+}
+
+// Reset points the batch at its own empty storage; producers that build
+// output tuple-by-tuple call it and append to Tuples (capacity is
+// guaranteed, so appends never reallocate).
+func (b *Batch) Reset() { b.Tuples = b.own[:0] }
+
+// Cap returns the fill target of the batch: the capacity of its own
+// storage (aliasing fills use it to size sub-windows consistently).
+func (b *Batch) Cap() int {
+	if c := cap(b.own); c > 0 {
+		return c
+	}
+	return BatchSize
+}
+
+// Len returns the number of tuples currently in the batch.
+func (b *Batch) Len() int { return len(b.Tuples) }
+
+var batchPool = sync.Pool{
+	New: func() any { return NewBatch(BatchSize) },
+}
+
+// GetBatch returns an empty pooled batch of BatchSize capacity.
+func GetBatch() *Batch {
+	b := batchPool.Get().(*Batch)
+	b.Reset()
+	return b
+}
+
+// PutBatch returns a batch to the pool. The caller must not touch the
+// batch (or the Tuples slice it handed out) afterwards. Tuple contents
+// are not cleared — a pool entry pins at most one batch worth of
+// tuples, and the pool itself is dropped on GC pressure. Odd-sized
+// batches (NewBatch with a capacity other than BatchSize — ramp-up
+// blocks, test batches) are dropped rather than pooled, so GetBatch
+// always returns full-capacity storage.
+func PutBatch(b *Batch) {
+	if cap(b.own) != BatchSize {
+		return
+	}
+	b.Tuples = nil
+	batchPool.Put(b)
+}
+
+// FillBatch resets b and fills it through next until it holds Cap()
+// tuples or the stream ends, reporting whether it produced any — the
+// one batch-fill loop behind every tuple-pulling NextBatch
+// implementation (operator cursors, adapters, fallbacks).
+func FillBatch(b *Batch, next func() (relation.Tuple, bool)) bool {
+	b.Reset()
+	max := b.Cap()
+	for len(b.Tuples) < max {
+		t, ok := next()
+		if !ok {
+			break
+		}
+		b.Tuples = append(b.Tuples, t)
+	}
+	return len(b.Tuples) > 0
+}
+
+// BatchCursor is a Cursor that can also deliver its stream in blocks.
+// NextBatch fills b (after resetting it) with up to b.Cap() tuples in
+// canonical order and reports whether it produced any; after the first
+// false it keeps returning false. Next and NextBatch draw from the same
+// underlying stream and may be interleaved — every tuple is delivered
+// exactly once, in order, whichever way it is pulled.
+type BatchCursor interface {
+	Cursor
+	NextBatch(b *Batch) bool
+}
+
+// keySkipper is implemented by cursors that can advance past a run of
+// facts in sub-linear time: SkipTo discards every upcoming tuple whose
+// fact key is below k. Scans gallop (exponential probe + binary search
+// over the packed (FactID, Ts, Te) order when interned); filters
+// forward to their input. The advancer's run-skipping uses it through
+// batchSource; operator cursors deliberately do not implement it —
+// their output is computed, so "skipping" it would still compute it.
+type keySkipper interface {
+	SkipTo(k relation.FactKey)
+}
+
+// NextBatch fills b with the next sub-window of the scanned relation —
+// zero copy: b.Tuples aliases the relation's own storage, so a scan
+// batch costs two slice-header writes regardless of size. Consumers
+// must treat the tuples as read-only (the relation may be shared, e.g.
+// a catalog relation under AssumeSorted).
+func (c *ScanCursor) NextBatch(b *Batch) bool {
+	n := len(c.r.Tuples) - c.i
+	if n <= 0 {
+		b.Reset()
+		return false
+	}
+	if max := b.Cap(); n > max {
+		n = max
+	}
+	b.Tuples = c.r.Tuples[c.i : c.i+n]
+	c.i += n
+	return true
+}
+
+// SkipTo advances the scan past every tuple whose fact key is below k,
+// by galloping: exponential probe to bracket the run, then binary
+// search inside the bracket. On interned relations every comparison is
+// a single integer compare, so skipping an absent run of m tuples costs
+// O(log m) instead of the O(m) pops of the tuple-at-a-time sweep.
+func (c *ScanCursor) SkipTo(k relation.FactKey) {
+	c.i += relation.SkipToKey(c.r.Tuples[c.i:], k)
+}
+
+// NextBatch drains windows through the operation's λ-filter into the
+// output batch until it is full or the operation terminates — the
+// advancer runs without surfacing an interface call per tuple, and the
+// per-operation termination conditions of Algorithms 2–4 are re-checked
+// between windows exactly as in Next.
+func (c *OpCursor) NextBatch(b *Batch) bool {
+	return FillBatch(b, c.Next)
+}
+
+// tupleAdapter lifts any Cursor to a BatchCursor by filling batches
+// through Next — the compatibility shim for cursors outside this
+// package that have not grown a native NextBatch.
+type tupleAdapter struct{ Cursor }
+
+func (a tupleAdapter) NextBatch(b *Batch) bool {
+	return FillBatch(b, a.Next)
+}
+
+// AsBatchCursor returns c itself when it already streams batches, and a
+// batching adapter over Next otherwise — callers that want blocks
+// (engine shard producers, the NDJSON stream) use it to pick batched
+// plans transparently.
+func AsBatchCursor(c Cursor) BatchCursor {
+	if bc, ok := c.(BatchCursor); ok {
+		return bc
+	}
+	return tupleAdapter{c}
+}

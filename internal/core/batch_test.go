@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// sortedTestRelation builds a sorted, interned relation with the given
+// fact runs.
+func sortedTestRelation(name string, n, facts int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := relation.New(relation.NewSchema(name, "F"))
+	cursors := make(map[string]int64)
+	for i := 0; i < n; i++ {
+		f := fmt.Sprintf("f%04d", rng.Intn(facts))
+		ts := cursors[f] + int64(rng.Intn(3))
+		te := ts + 1 + int64(rng.Intn(4))
+		cursors[f] = te
+		r.AddBase(relation.NewFact(f), fmt.Sprintf("%s%d", name, i), ts, te, 0.1+0.8*rng.Float64())
+	}
+	r.Intern()
+	r.Sort()
+	return r
+}
+
+// TestScanBatchZeroCopy pins that scan batches alias the relation's own
+// tuple storage (two slice-header writes per block, no copying) and
+// that the sub-windows tile the relation exactly.
+func TestScanBatchZeroCopy(t *testing.T) {
+	r := sortedTestRelation("r", 2*BatchSize+100, 7, 1)
+	c := NewScanCursor(r)
+	b := GetBatch()
+	defer PutBatch(b)
+	seen := 0
+	for c.NextBatch(b) {
+		if &b.Tuples[0] != &r.Tuples[seen] {
+			t.Fatalf("batch at offset %d does not alias the relation storage", seen)
+		}
+		seen += len(b.Tuples)
+	}
+	if seen != r.Len() {
+		t.Fatalf("batches covered %d tuples, want %d", seen, r.Len())
+	}
+}
+
+// TestScanBatchRespectsCapacity pins sub-window sizing for tiny batch
+// capacities and the post-exhaustion contract.
+func TestScanBatchRespectsCapacity(t *testing.T) {
+	r := sortedTestRelation("r", 10, 3, 2)
+	for _, capacity := range []int{1, 2, 3, 1024} {
+		c := NewScanCursor(r)
+		b := NewBatch(capacity)
+		total := 0
+		for c.NextBatch(b) {
+			if len(b.Tuples) == 0 || len(b.Tuples) > capacity {
+				t.Fatalf("cap %d: batch of %d tuples", capacity, len(b.Tuples))
+			}
+			for i := range b.Tuples {
+				if !b.Tuples[i].Fact.Equal(r.Tuples[total+i].Fact) {
+					t.Fatalf("cap %d: tuple %d out of order", capacity, total+i)
+				}
+			}
+			total += len(b.Tuples)
+		}
+		if total != r.Len() {
+			t.Fatalf("cap %d: %d tuples, want %d", capacity, total, r.Len())
+		}
+		if c.NextBatch(b) {
+			t.Fatalf("cap %d: NextBatch true after exhaustion", capacity)
+		}
+	}
+}
+
+// TestSkipToKeyMatchesLinearScan is the galloping property test: on
+// random sorted slices and random probe keys, SkipToKey must return
+// exactly the index a linear scan finds — interned and string-keyed.
+func TestSkipToKeyMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		r := sortedTestRelation("r", 1+rng.Intn(300), 1+rng.Intn(40), int64(trial))
+		if trial%2 == 1 {
+			r.Unbind() // string-compare path
+		}
+		probe := sortedTestRelation("p", 60, 1+rng.Intn(60), int64(trial)+1000)
+		for i := range probe.Tuples {
+			k := probe.Tuples[i].FactKeyRO()
+			start := rng.Intn(r.Len())
+			got := relation.SkipToKey(r.Tuples[start:], k)
+			want := 0
+			for want < len(r.Tuples[start:]) && r.Tuples[start:][want].FactKeyRO().Less(k) {
+				want++
+			}
+			if got != want {
+				t.Fatalf("trial %d: SkipToKey from %d for %q: got %d, want %d",
+					trial, start, k, got, want)
+			}
+		}
+	}
+}
+
+// TestScanSkipToAdvancesCursor pins SkipTo/Next interplay on the scan.
+func TestScanSkipToAdvancesCursor(t *testing.T) {
+	r := sortedTestRelation("r", 500, 25, 4)
+	c := NewScanCursor(r)
+	// Skip to the key of a tuple in the middle.
+	target := r.Tuples[307].FactKeyRO()
+	c.SkipTo(target)
+	got, ok := c.Next()
+	if !ok {
+		t.Fatal("cursor exhausted after SkipTo")
+	}
+	if got.FactKeyRO().Less(target) {
+		t.Fatalf("SkipTo left a tuple below the target: %s < %s", got.FactKeyRO(), target)
+	}
+	// No tuple with key >= target may have been skipped: the first
+	// reachable tuple must be the linear-scan answer.
+	want := relation.SkipToKey(r.Tuples, target)
+	if !got.Fact.Equal(r.Tuples[want].Fact) || got.T != r.Tuples[want].T {
+		t.Fatalf("SkipTo landed on %s, want %s", got, r.Tuples[want])
+	}
+}
+
+// TestSteadyStateBatchAllocations is the pooling satellite's pin: a
+// full batched except-sweep over disjoint-fact inputs — whose output
+// reuses the input lineage pointers, so no per-tuple lineage allocation
+// is inherent — must run with near-zero per-window allocations once the
+// batch pool is warm. Long-running /query/stream sessions hit exactly
+// this loop; ~tens of allocations per multi-thousand-window drain means
+// the advancer buffers, window scratch and batch blocks are reused, not
+// churned.
+func TestSteadyStateBatchAllocations(t *testing.T) {
+	const n = 4000
+	r := sortedTestRelation("r", n, 40, 5)
+	s := relation.New(relation.NewSchema("s", "F"))
+	for i := 0; i < n; i++ {
+		s.AddBase(relation.NewFact(fmt.Sprintf("g%04d", i%40)), fmt.Sprintf("s%d", i), int64(i), int64(i)+2, 0.5)
+	}
+	relation.InternAll(r, s)
+	r.Sort()
+	s.Sort()
+
+	drain := func() {
+		c, err := NewOpCursor(OpExcept, NewScanCursor(r), NewScanCursor(s), Options{LazyProb: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := GetBatch()
+		total := 0
+		for c.NextBatch(b) {
+			total += len(b.Tuples)
+		}
+		PutBatch(b)
+		if total == 0 {
+			t.Fatal("except over disjoint facts must emit the whole left input")
+		}
+	}
+	drain() // warm the pools
+	allocs := testing.AllocsPerRun(10, drain)
+	// Plan construction is ~a dozen allocations; per-window steady state
+	// must contribute ~nothing. Without pooling/batching this is O(n).
+	if allocs > 100 {
+		t.Fatalf("steady-state batched drain: %.0f allocs per run for %d windows; want near-zero per window", allocs, n)
+	}
+}
+
+// TestOptionsWorkersResolution pins the Parallelism resolution rule:
+// the zero value scales with the hardware, explicit values win, and
+// anything below one is sequential.
+func TestOptionsWorkersResolution(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	runtime.GOMAXPROCS(6)
+	defer runtime.GOMAXPROCS(old)
+
+	cases := []struct{ parallelism, want int }{
+		{0, 6},  // unset: runtime.GOMAXPROCS(0)
+		{1, 1},  // explicit sequential
+		{-3, 1}, // nonsense: sequential
+		{4, 4},  // explicit budget
+		{9, 9},  // above GOMAXPROCS is allowed
+	}
+	for _, tc := range cases {
+		if got := (Options{Parallelism: tc.parallelism}).Workers(); got != tc.want {
+			t.Fatalf("Parallelism=%d: Workers()=%d, want %d", tc.parallelism, got, tc.want)
+		}
+	}
+}

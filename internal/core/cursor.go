@@ -78,9 +78,18 @@ func NewOpCursor(op Op, left, right Cursor, opts Options) (*OpCursor, error) {
 		return nil, fmt.Errorf("core: incompatible schemas %q (%d attrs) and %q (%d attrs)",
 			ls.Name, len(ls.Attrs), rs.Name, len(rs.Attrs))
 	}
+	var a *Advancer
+	if opts.NoBatch {
+		a = newTupleStreamAdvancer(left, right)
+	} else {
+		a = NewStreamAdvancer(left, right)
+	}
+	if !opts.NoRunSkip {
+		a.enableSkip(op)
+	}
 	return &OpCursor{
 		op:     op,
-		a:      NewStreamAdvancer(left, right),
+		a:      a,
 		schema: OutSchemaOf(op, ls, rs),
 		opts:   opts,
 	}, nil
@@ -90,7 +99,11 @@ func NewOpCursor(op Op, left, right Cursor, opts Options) (*OpCursor, error) {
 // slice-backed sources — the materializing drivers' entry point, which
 // skips the cursorSource buffering of the general path.
 func newOpCursorSorted(op Op, r, s *relation.Relation, schema relation.Schema, opts Options) *OpCursor {
-	return &OpCursor{op: op, a: NewAdvancer(r, s), schema: schema, opts: opts}
+	a := NewAdvancer(r, s)
+	if !opts.NoRunSkip {
+		a.enableSkip(op)
+	}
+	return &OpCursor{op: op, a: a, schema: schema, opts: opts}
 }
 
 // Schema returns the output schema of the operation.
@@ -148,9 +161,20 @@ func (c *OpCursor) Next() (relation.Tuple, bool) {
 // cursor plan gives up its O(tree depth) memory bound. When every output
 // tuple carries one shared interning dictionary (the same-dict-inputs
 // case), the materialized relation comes out bound to it, so downstream
-// sorts and set operations stay on the integer-compare path.
+// sorts and set operations stay on the integer-compare path. Cursors
+// that stream batches are drained block-at-a-time (one bulk append per
+// ~BatchSize tuples); the result is identical either way.
 func Materialize(c Cursor) *relation.Relation {
 	out := relation.New(c.Schema())
+	if bc, ok := c.(BatchCursor); ok {
+		b := GetBatch()
+		for bc.NextBatch(b) {
+			out.Tuples = append(out.Tuples, b.Tuples...)
+		}
+		PutBatch(b)
+		out.AdoptBinding()
+		return out
+	}
 	for {
 		t, ok := c.Next()
 		if !ok {

@@ -35,6 +35,15 @@
 // (built by internal/query) evaluate whole query trees in O(tree depth)
 // additional memory.
 //
+// Execution is batched (vectorized) by default: BatchCursor moves pooled
+// ~BatchSize-tuple blocks through the stack (zero-copy scan sub-windows,
+// block-draining operators), amortizing per-tuple interface, channel and
+// encoder costs ~1000x, and the advancer skips runs of facts whose
+// windows the operation discards by galloping over the packed
+// (FactID, Ts, Te) order (see Options.NoBatch/NoRunSkip and DESIGN.md
+// "Batched execution & run skipping"). Output is bit-identical across
+// all paths.
+//
 // Paper map: Def. 3 (the three TP set operations), Alg. 1 (Advancer),
 // Algs. 2–4 (drivers), Fig. 5 (pipeline), Example 3 (window stream). See
 // docs/PAPER_MAP.md.

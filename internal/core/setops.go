@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"github.com/tpset/tpset/internal/relation"
 )
@@ -21,15 +22,43 @@ type Options struct {
 	Validate bool
 	// Parallelism requests partition-parallel execution with this many
 	// workers. The sequential drivers in this package ignore it; the
-	// dispatch layers (tpset.Apply, internal/engine) route operations with
-	// Parallelism > 1 through the partitioned execution engine. 0 and 1
-	// both mean sequential.
+	// dispatch layers (tpset.Apply, internal/engine) route operations
+	// through the partitioned execution engine when the resolved count
+	// (see Workers) is above one. 0 — the zero value — resolves to
+	// runtime.GOMAXPROCS(0); 1 or below means sequential.
 	Parallelism int
 	// NoIntern skips building a shared fact dictionary over the cloned
 	// inputs, so every comparison falls back to the key-string path —
 	// the pre-interning representation. Exists for the cross-validation
 	// suite and the intern-vs-string benchmark; leave it unset otherwise.
 	NoIntern bool
+	// NoBatch pins the streaming execution paths to tuple-at-a-time:
+	// operator cursors pull children through one-tuple buffers and the
+	// engine's shard channels carry single tuples — the pre-batching
+	// execution stack. Exists for the cross-validation suite and the
+	// batch-vs-tuple benchmark; leave it unset otherwise.
+	NoBatch bool
+	// NoRunSkip disables the advancer's run-skipping (galloping past
+	// runs of facts whose windows the operation discards), forcing the
+	// tuple-by-tuple pop behaviour of the plain Algorithm 1 sweep.
+	// Exists for the cross-validation suite and the batch-vs-tuple
+	// benchmark; leave it unset otherwise.
+	NoRunSkip bool
+}
+
+// Workers resolves Parallelism to an effective worker count: 0 (unset)
+// selects runtime.GOMAXPROCS(0) — scale with the hardware by default —
+// and anything below one is sequential. The dispatch layers (tpset.Apply,
+// internal/engine) route operations through the partition-parallel
+// engine exactly when the resolved count is above one.
+func (o Options) Workers() int {
+	if o.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism < 1 {
+		return 1
+	}
+	return o.Parallelism
 }
 
 // Op identifies a TP set operation.

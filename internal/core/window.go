@@ -42,15 +42,23 @@ func (w Window) String() string {
 }
 
 // tupleSource is the advancer's view of one input: a one-tuple-lookahead
-// stream in (fact, Ts) order. Two implementations exist — a slice over a
-// sorted relation (the classic materialized input) and a buffered pull
-// from a Cursor (the streaming execution path). peek returns the next
+// stream in (fact, Ts) order. Three implementations exist — a slice over
+// a sorted relation (the classic materialized input), a buffered pull
+// from a Cursor (the tuple-at-a-time streaming path) and a block pull
+// from a BatchCursor (the batched streaming path). peek returns the next
 // unconsumed tuple (nil when drained) and is stable until pop; pop
 // consumes it. The pointer peek returns may be invalidated by pop, so
-// callers that need the tuple beyond the next pop must copy it.
+// callers that need the tuple beyond the next pop must copy it. The
+// peeked tuple may alias storage shared with concurrent readers, so
+// callers must not mutate it — keys are read through FactKeyRO.
+//
+// skipTo advances the source so that peek returns the first tuple whose
+// fact key is >= k; it is the run-skipping entry point and only called
+// when every tuple below k is known to be filtered out by the operation.
 type tupleSource interface {
 	peek() *relation.Tuple
 	pop()
+	skipTo(k relation.FactKey)
 }
 
 // sliceSource streams a sorted tuple slice.
@@ -67,6 +75,11 @@ func (s *sliceSource) peek() *relation.Tuple {
 }
 
 func (s *sliceSource) pop() { s.i++ }
+
+// skipTo gallops over the slice (shared with ScanCursor.SkipTo).
+func (s *sliceSource) skipTo(k relation.FactKey) {
+	s.i += relation.SkipToKey(s.ts[s.i:], k)
+}
 
 // cursorSource streams a Cursor through a one-tuple buffer.
 type cursorSource struct {
@@ -91,6 +104,78 @@ func (s *cursorSource) peek() *relation.Tuple {
 }
 
 func (s *cursorSource) pop() { s.has = false }
+
+// skipTo on a plain cursor can only pop tuple-by-tuple — the child
+// stream is computed, so there is nothing to gallop over.
+func (s *cursorSource) skipTo(k relation.FactKey) {
+	for {
+		t := s.peek()
+		if t == nil || !t.FactKeyRO().Less(k) {
+			return
+		}
+		s.pop()
+	}
+}
+
+// batchSource streams a BatchCursor through a pooled block buffer: one
+// interface call per ~BatchSize tuples instead of one per tuple. The
+// peeked pointers index straight into the batch, which may alias the
+// scanned relation (zero copy) — hence the read-only contract of peek.
+type batchSource struct {
+	c    BatchCursor
+	b    *Batch
+	i    int
+	done bool
+}
+
+func newBatchSource(c BatchCursor) *batchSource {
+	return &batchSource{c: c, b: GetBatch()}
+}
+
+func (s *batchSource) peek() *relation.Tuple {
+	for {
+		if s.i < len(s.b.Tuples) {
+			return &s.b.Tuples[s.i]
+		}
+		if s.done {
+			return nil
+		}
+		if !s.c.NextBatch(s.b) {
+			s.done = true
+			PutBatch(s.b)
+			s.b = &Batch{}
+			return nil
+		}
+		s.i = 0
+	}
+}
+
+func (s *batchSource) pop() { s.i++ }
+
+// skipTo discards the remainder of the current batch by binary search,
+// then — when the target is beyond it — delegates to the child's
+// galloping SkipTo (scans, filters) or discards whole batches when the
+// child's output is computed (operator cursors): a batch discard is one
+// comparison against the batch tail, so even the fallback advances in
+// O(n/BatchSize) comparisons instead of O(n) pops.
+func (s *batchSource) skipTo(k relation.FactKey) {
+	for {
+		s.i += relation.SkipToKey(s.b.Tuples[s.i:], k)
+		if s.i < len(s.b.Tuples) || s.done {
+			return
+		}
+		if sk, ok := s.c.(keySkipper); ok {
+			sk.SkipTo(k)
+		}
+		if !s.c.NextBatch(s.b) {
+			s.done = true
+			PutBatch(s.b)
+			s.b = &Batch{}
+			return
+		}
+		s.i = 0
+	}
+}
 
 // Advancer is the lineage-aware window advancer. It carries the status
 // structure of Algorithm 1: the boundary of the previous window, the fact
@@ -121,6 +206,18 @@ type Advancer struct {
 	// the source it was peeked from, so admission copies it here.
 	rValidBuf relation.Tuple
 	sValidBuf relation.Tuple
+
+	// skipR/skipS enable run-skipping per side: when no tuple is valid
+	// on either side and the upcoming facts differ, a side whose
+	// windows would certainly fail the operation's λ-filter is galloped
+	// past the absent run instead of popped tuple-by-tuple. OpCursor
+	// sets them from the operation (intersection: both sides — a
+	// one-sided window never passes λr ≠ null ∧ λs ≠ null; difference:
+	// the right side — an s-only window never has λr ≠ null; union:
+	// neither — every window is output). The skipped windows are
+	// exactly those the operation discards, so the filtered output is
+	// bit-identical with skipping on or off.
+	skipR, skipS bool
 }
 
 // NewAdvancer returns an advancer over two relations that must already be
@@ -134,9 +231,37 @@ func NewAdvancer(r, s *relation.Relation) *Advancer {
 // yield tuples in canonical (fact, Ts) order — the streaming form of the
 // sort precondition. Operator cursors and relation scans both satisfy it,
 // so advancers stack: a whole query tree evaluates with one lookahead
-// buffer per tree edge and no materialized intermediates.
+// buffer per tree edge and no materialized intermediates. Children that
+// stream batches are pulled block-at-a-time (one interface call per
+// ~BatchSize tuples); plain cursors fall back to the one-tuple buffer.
 func NewStreamAdvancer(r, s Cursor) *Advancer {
+	return &Advancer{r: streamSource(r), s: streamSource(s), prevWinTe: -1}
+}
+
+func streamSource(c Cursor) tupleSource {
+	if bc, ok := c.(BatchCursor); ok {
+		return newBatchSource(bc)
+	}
+	return &cursorSource{c: c}
+}
+
+// newTupleStreamAdvancer is NewStreamAdvancer pinned to the
+// tuple-at-a-time sources — the pre-batching execution stack, kept
+// selectable (Options.NoBatch) for the batch-vs-tuple benchmark and the
+// cross-validation suite.
+func newTupleStreamAdvancer(r, s Cursor) *Advancer {
 	return &Advancer{r: &cursorSource{c: r}, s: &cursorSource{c: s}, prevWinTe: -1}
+}
+
+// enableSkip turns on run-skipping for the sides whose one-sided
+// windows op discards (see the skipR/skipS field comment).
+func (a *Advancer) enableSkip(op Op) {
+	switch op {
+	case OpIntersect:
+		a.skipR, a.skipS = true, true
+	case OpExcept:
+		a.skipS = true
+	}
 }
 
 // RExhausted reports whether the left input is fully consumed: no upcoming
@@ -155,6 +280,9 @@ func (a *Advancer) SExhausted() bool { return a.s.peek() == nil && a.sValid == n
 // be meaningless), and (ii) the right window boundary only considers
 // upcoming tuples of the fact currently being processed.
 func (a *Advancer) Next() (Window, bool) {
+	if (a.skipR || a.skipS) && a.rValid == nil && a.sValid == nil {
+		a.skipRuns()
+	}
 	r, s := a.r.peek(), a.s.peek()
 
 	var winTs interval.Time
@@ -171,7 +299,7 @@ func (a *Advancer) Next() (Window, bool) {
 			winTs = s.T.Ts
 			a.setFact(s)
 		default:
-			rKey, sKey := r.FactKey(), s.FactKey()
+			rKey, sKey := r.FactKeyRO(), s.FactKeyRO()
 			rSame, sSame := rKey.Equal(a.currKey), sKey.Equal(a.currKey)
 			switch {
 			case rSame && !sSame:
@@ -205,13 +333,13 @@ func (a *Advancer) Next() (Window, bool) {
 	// Admit upcoming tuples that become valid exactly at winTs. The tuple
 	// is copied out of the source's lookahead buffer: it must stay valid
 	// after the pop, which may overwrite the buffer on the next peek.
-	if r != nil && r.FactKey().Equal(a.currKey) && r.T.Ts == winTs {
+	if r != nil && r.FactKeyRO().Equal(a.currKey) && r.T.Ts == winTs {
 		a.rValidBuf = *r
 		a.rValid = &a.rValidBuf
 		a.r.pop()
 		r = a.r.peek()
 	}
-	if s != nil && s.FactKey().Equal(a.currKey) && s.T.Ts == winTs {
+	if s != nil && s.FactKeyRO().Equal(a.currKey) && s.T.Ts == winTs {
 		a.sValidBuf = *s
 		a.sValid = &a.sValidBuf
 		a.s.pop()
@@ -228,10 +356,10 @@ func (a *Advancer) Next() (Window, bool) {
 	if a.sValid != nil {
 		winTe = interval.Min(winTe, a.sValid.T.Te)
 	}
-	if r != nil && r.FactKey().Equal(a.currKey) {
+	if r != nil && r.FactKeyRO().Equal(a.currKey) {
 		winTe = interval.Min(winTe, r.T.Ts)
 	}
-	if s != nil && s.FactKey().Equal(a.currKey) {
+	if s != nil && s.FactKeyRO().Equal(a.currKey) {
 		winTe = interval.Min(winTe, s.T.Ts)
 	}
 
@@ -254,7 +382,41 @@ func (a *Advancer) Next() (Window, bool) {
 	return w, true
 }
 
+// skipRuns gallops past runs of facts whose windows the operation is
+// known to discard. Precondition: no tuple is valid on either side, so
+// the next window would open at an upcoming tuple. While both upcoming
+// facts differ, the smaller side's windows are one-sided for the whole
+// run up to the larger fact; if the operation discards that side's
+// one-sided windows (skipR/skipS), the run is skipped in O(log run)
+// comparisons — packed (FactID, Ts, Te) integer compares when the
+// inputs are interned — instead of being popped tuple-by-tuple. On
+// low-overlap or disjoint-fact inputs this turns the sweep from O(n)
+// pops into O(runs · log n).
+func (a *Advancer) skipRuns() {
+	for {
+		r, s := a.r.peek(), a.s.peek()
+		if r == nil || s == nil {
+			return
+		}
+		rk, sk := r.FactKeyRO(), s.FactKeyRO()
+		switch {
+		case rk.Less(sk):
+			if !a.skipR {
+				return
+			}
+			a.r.skipTo(sk)
+		case sk.Less(rk):
+			if !a.skipS {
+				return
+			}
+			a.s.skipTo(rk)
+		default:
+			return
+		}
+	}
+}
+
 func (a *Advancer) setFact(t *relation.Tuple) {
-	a.currKey = t.FactKey()
+	a.currKey = t.FactKeyRO()
 	a.currFactV = t.Fact
 }

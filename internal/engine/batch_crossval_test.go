@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/interval"
+	"github.com/tpset/tpset/internal/query"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// Cross-validation of the batched (vectorized) execution stack and the
+// advancer's run-skipping: draining a plan batch-at-a-time — through
+// any batch capacity, the engine's batched shard channels, or the
+// tuple-adapter — must be BIT-IDENTICAL (same tuples, same lineage
+// rendering, same probabilities, same canonical order) to the
+// tuple-at-a-time cursor executor (Options.NoBatch) and to the
+// materializing evaluator, with run-skipping on or off
+// (Options.NoRunSkip). The suite runs under -race in CI, which also
+// proves the zero-copy scan batches race-free against shared inputs.
+
+// batchRandomDB builds a random database; offsetFacts shifts each
+// relation's fact pool so consecutive relations overlap on only part of
+// their fact universes — long absent runs, the run-skipping hot case.
+func batchRandomDB(rng *rand.Rand, k, maxTuples, facts int, offsetFacts bool) map[string]*relation.Relation {
+	db := make(map[string]*relation.Relation, k)
+	for ri := 0; ri < k; ri++ {
+		name := fmt.Sprintf("r%d", ri)
+		rel := relation.New(relation.NewSchema(name, "F"))
+		n := 1 + rng.Intn(maxTuples)
+		cursors := make(map[string]interval.Time)
+		base := 0
+		if offsetFacts {
+			base = ri * facts / 2
+		}
+		for i := 0; i < n; i++ {
+			f := fmt.Sprintf("f%03d", base+rng.Intn(facts))
+			ts := cursors[f] + interval.Time(rng.Intn(4))
+			te := ts + 1 + interval.Time(rng.Intn(5))
+			cursors[f] = te
+			rel.AddBase(relation.NewFact(f), fmt.Sprintf("%s_%d", name, i), ts, te, 0.05+0.9*rng.Float64())
+		}
+		rel.Sort()
+		db[name] = rel
+	}
+	return db
+}
+
+// batchRandomTree is streamRandomTree plus selection nodes, so the
+// batched selectCursor (filtered blocks, forwarded SkipTo) is under
+// test too.
+func batchRandomTree(rng *rand.Rand, names []string, leaves int) query.Node {
+	if leaves <= 1 {
+		var n query.Node = &query.Rel{Name: names[rng.Intn(len(names))]}
+		if rng.Intn(4) == 0 {
+			n = &query.Select{Input: n, Attr: "F", Value: fmt.Sprintf("f%03d", rng.Intn(24))}
+		}
+		return n
+	}
+	l := 1 + rng.Intn(leaves-1)
+	return &query.SetOp{
+		Op:    core.Op(rng.Intn(3)),
+		Left:  batchRandomTree(rng, names, l),
+		Right: batchRandomTree(rng, names, leaves-l),
+	}
+}
+
+// drainBatches materializes a cursor through NextBatch with the given
+// batch capacity, exercising mid-batch exhaustion (the last batch of a
+// stream is almost always short) and, for capacity 1 and 2, constant
+// block turnover.
+func drainBatches(t *testing.T, c core.Cursor, capacity int) *relation.Relation {
+	t.Helper()
+	bc, ok := c.(core.BatchCursor)
+	if !ok {
+		t.Fatalf("cursor %T is not batch-capable", c)
+	}
+	out := relation.New(c.Schema())
+	b := core.NewBatch(capacity)
+	for bc.NextBatch(b) {
+		if len(b.Tuples) == 0 {
+			t.Fatal("NextBatch returned true with an empty batch")
+		}
+		if len(b.Tuples) > capacity {
+			t.Fatalf("NextBatch produced %d tuples into a capacity-%d batch", len(b.Tuples), capacity)
+		}
+		out.Tuples = append(out.Tuples, b.Tuples...)
+	}
+	if bc.NextBatch(b) {
+		t.Fatal("NextBatch returned true after exhaustion")
+	}
+	out.AdoptBinding()
+	return out
+}
+
+// TestBatchedExecutionBitIdentical is the main sweep: random query
+// trees (with selections) over partially fact-disjoint inputs, compared
+// across the materializing evaluator, the tuple-at-a-time cursor
+// executor, the batched executor at batch capacities 1/2/1024, and the
+// engine's batched vs tuple shard channels at Workers=1/2/8 — with
+// run-skipping both on and off.
+func TestBatchedExecutionBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 100; trial++ {
+		db := batchRandomDB(rng, 2+rng.Intn(3), 120, 24, trial%2 == 0)
+		names := query.DBKeys(db)
+		tree := batchRandomTree(rng, names, 1+rng.Intn(4))
+		ctx := func(s string) string { return fmt.Sprintf("trial %d (%s): %s", trial, tree, s) }
+
+		// Reference: the pre-batching stack — tuple-at-a-time cursors,
+		// no run-skipping.
+		want, err := query.EvaluateCursor(tree, db, core.Options{NoBatch: true, NoRunSkip: true})
+		if err != nil {
+			t.Fatalf("%s: %v", ctx("reference"), err)
+		}
+
+		// Materializing evaluator (run-skipping on by default).
+		got, err := query.EvaluateWith(tree, db, query.AlgoLAWA)
+		if err != nil {
+			t.Fatalf("%s: %v", ctx("materializing"), err)
+		}
+		requireIdenticalStreams(t, ctx("materializing"), got, want)
+
+		// Batched executor across batch capacities, skipping on and off.
+		for _, capacity := range []int{1, 2, core.BatchSize} {
+			for _, noSkip := range []bool{false, true} {
+				c, err := query.BuildCursor(tree, db, core.Options{NoRunSkip: noSkip})
+				if err != nil {
+					t.Fatalf("%s: %v", ctx("build"), err)
+				}
+				got = drainBatches(t, c, capacity)
+				requireIdenticalStreams(t,
+					ctx(fmt.Sprintf("batched cap=%d noskip=%v", capacity, noSkip)), got, want)
+			}
+		}
+
+		// Engine paths: batched shard channels vs tuple channels.
+		for _, w := range []int{1, 2, 8} {
+			e := New(Config{Workers: w, MinPartitionSize: 8})
+			got, err = e.EvalCursor(tree, db, core.Options{})
+			if err != nil {
+				t.Fatalf("%s: %v", ctx(fmt.Sprintf("engine batched w=%d", w)), err)
+			}
+			requireIdenticalStreams(t, ctx(fmt.Sprintf("engine batched w=%d", w)), got, want)
+
+			got, err = e.EvalCursor(tree, db, core.Options{NoBatch: true, NoRunSkip: true})
+			if err != nil {
+				t.Fatalf("%s: %v", ctx(fmt.Sprintf("engine tuple w=%d", w)), err)
+			}
+			requireIdenticalStreams(t, ctx(fmt.Sprintf("engine tuple w=%d", w)), got, want)
+		}
+	}
+}
+
+// TestBatchedInterleavedPulls pins that Next and NextBatch draw from one
+// stream: alternating pulls see every tuple exactly once, in order.
+func TestBatchedInterleavedPulls(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 40; trial++ {
+		db := batchRandomDB(rng, 2, 150, 16, trial%2 == 0)
+		names := query.DBKeys(db)
+		tree := batchRandomTree(rng, names, 2)
+		want, err := query.EvaluateCursor(tree, db, core.Options{NoBatch: true, NoRunSkip: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		for _, w := range []int{1, 2} {
+			cur, err := New(Config{Workers: w, MinPartitionSize: 8}).Cursor(tree, db, core.Options{})
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			got := relation.New(cur.Schema())
+			b := core.NewBatch(3)
+			for {
+				if rng.Intn(2) == 0 {
+					tup, ok := cur.Next()
+					if !ok {
+						break
+					}
+					got.Tuples = append(got.Tuples, tup)
+				} else {
+					if !cur.NextBatch(b) {
+						break
+					}
+					got.Tuples = append(got.Tuples, b.Tuples...)
+				}
+			}
+			cur.Close()
+			requireIdenticalStreams(t, fmt.Sprintf("trial %d (%s) interleaved w=%d", trial, tree, w), got, want)
+		}
+	}
+}
+
+// TestBatchedEarlyClose abandons batched streams mid-drain across worker
+// counts; the shard producers must release without deadlock (the -race
+// run additionally proves the teardown race-free), and Close must be
+// idempotent.
+func TestBatchedEarlyClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 30; trial++ {
+		db := batchRandomDB(rng, 3, 400, 12, false)
+		names := query.DBKeys(db)
+		tree := batchRandomTree(rng, names, 3)
+		for _, w := range []int{1, 2, 8} {
+			cur, err := New(Config{Workers: w, MinPartitionSize: 8}).Cursor(tree, db, core.Options{})
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			b := core.GetBatch()
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				if !cur.NextBatch(b) {
+					break
+				}
+			}
+			core.PutBatch(b)
+			cur.Close()
+			cur.Close() // idempotent
+		}
+	}
+}
+
+// TestBatchedEmptyInputs pins the degenerate shapes: empty relations on
+// either or both sides of every operation, batched and tuple paths.
+func TestBatchedEmptyInputs(t *testing.T) {
+	empty := relation.New(relation.NewSchema("e", "F"))
+	full := relation.New(relation.NewSchema("f", "F"))
+	full.AddBase(relation.NewFact("a"), "x1", 0, 5, 0.5)
+	full.AddBase(relation.NewFact("b"), "x2", 2, 9, 0.7)
+	full.Sort()
+	db := map[string]*relation.Relation{"e": empty, "f": full}
+
+	for _, q := range []string{"e & f", "f & e", "e | f", "f | e", "e - f", "f - e", "e & e", "e | e", "e - e"} {
+		tree := query.MustParse(q)
+		want, err := query.EvaluateCursor(tree, db, core.Options{NoBatch: true, NoRunSkip: true})
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		c, err := query.BuildCursor(tree, db, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		got := drainBatches(t, c, 4)
+		requireIdenticalStreams(t, q, got, want)
+
+		for _, w := range []int{1, 4} {
+			got, err := New(Config{Workers: w, MinPartitionSize: 1}).EvalCursor(tree, db, core.Options{})
+			if err != nil {
+				t.Fatalf("%s w=%d: %v", q, w, err)
+			}
+			requireIdenticalStreams(t, fmt.Sprintf("%s engine w=%d", q, w), got, want)
+		}
+	}
+}

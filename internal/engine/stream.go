@@ -24,26 +24,81 @@ import (
 // output). Inputs below the partitioning threshold skip that too and run
 // the purely sequential cursor plan, which is O(tree depth) end to end.
 
-// streamChanBuf is the per-shard channel buffer: enough to decouple
-// producer and consumer bursts, small enough that a stalled consumer
-// bounds the tuples in flight to shards × streamChanBuf.
+// streamChanBuf is the per-shard channel buffer of the tuple-at-a-time
+// path (Options.NoBatch): enough to decouple producer and consumer
+// bursts, small enough that a stalled consumer bounds the tuples in
+// flight to shards × streamChanBuf.
 const streamChanBuf = 128
 
-// StreamCursor is a core.Cursor over a whole query tree, evaluated
-// sequentially or partition-parallel. Callers that do not drain it must
-// Close it to release the shard goroutines; Close is idempotent and safe
-// after full drains too.
+// batchChanBuf is the per-shard channel buffer of the batched path, in
+// batches: two full blocks per shard decouple producer and consumer
+// while bounding the tuples in flight to
+// shards × batchChanBuf × core.BatchSize.
+const batchChanBuf = 2
+
+// rampBatchSize is the capacity of each shard's first block: small, so
+// the merge's priming — which needs a head block from every shard —
+// completes after a few sweep outputs per shard and the stream's first
+// tuple is not delayed by full-block fills (see the producer loop).
+const rampBatchSize = 64
+
+// StreamCursor is a core.Cursor (and core.BatchCursor) over a whole
+// query tree, evaluated sequentially or partition-parallel. Callers that
+// do not drain it must Close it to release the shard goroutines; Close
+// is idempotent and safe after full drains too.
 type StreamCursor struct {
-	schema relation.Schema
-	next   func() (relation.Tuple, bool)
-	stop   func()
+	schema    relation.Schema
+	next      func() (relation.Tuple, bool) // nil on the batch-merge plan
+	nextBatch func(*core.Batch) bool        // nil on the tuple-merge plan
+	stop      func()
+
+	// Adapter state: Next over a batch-producing plan drains blocks
+	// through cur; NextBatch over a partially drained block serves the
+	// remainder tuple-wise so the two pull styles can interleave.
+	cur  *core.Batch
+	ci   int
+	done bool
 }
 
 // Schema returns the plan's output schema.
 func (c *StreamCursor) Schema() relation.Schema { return c.schema }
 
 // Next returns the next result tuple in canonical (fact, Ts, Te) order.
-func (c *StreamCursor) Next() (relation.Tuple, bool) { return c.next() }
+func (c *StreamCursor) Next() (relation.Tuple, bool) {
+	if c.next != nil {
+		return c.next()
+	}
+	for {
+		if c.cur != nil && c.ci < len(c.cur.Tuples) {
+			t := c.cur.Tuples[c.ci]
+			c.ci++
+			return t, true
+		}
+		if c.done {
+			return relation.Tuple{}, false
+		}
+		if c.cur == nil {
+			c.cur = core.GetBatch()
+		}
+		if !c.nextBatch(c.cur) {
+			c.done = true
+			core.PutBatch(c.cur)
+			c.cur = nil
+			return relation.Tuple{}, false
+		}
+		c.ci = 0
+	}
+}
+
+// NextBatch fills b with the next block of result tuples; it implements
+// core.BatchCursor, so Materialize and the NDJSON stream drain engine
+// plans block-at-a-time.
+func (c *StreamCursor) NextBatch(b *core.Batch) bool {
+	if c.nextBatch != nil && (c.cur == nil || c.ci >= len(c.cur.Tuples)) {
+		return c.nextBatch(b)
+	}
+	return core.FillBatch(b, c.Next)
+}
 
 // Close releases the plan's resources (shard producer goroutines). After
 // Close, Next must not be called again.
@@ -73,7 +128,7 @@ func (e *Engine) Cursor(n query.Node, db map[string]*relation.Relation, opts cor
 		if err != nil {
 			return nil, err
 		}
-		return &StreamCursor{schema: c.Schema(), next: c.Next}, nil
+		return &StreamCursor{schema: c.Schema(), next: c.Next, nextBatch: core.AsBatchCursor(c).NextBatch}, nil
 	}
 
 	if opts.Validate {
@@ -150,41 +205,92 @@ func (e *Engine) Cursor(n query.Node, db map[string]*relation.Relation, opts cor
 	// shard blocks on its full channel while an unstarted shard starves
 	// the merge). The shard count is already sized from the worker budget,
 	// and the bounded channels provide backpressure.
-	chans := make([]chan relation.Tuple, shards)
 	done := make(chan struct{})
+	var once sync.Once
+	stop := func() { once.Do(func() { close(done) }) }
+
+	if opts.NoBatch {
+		// Tuple-at-a-time shard channels — the pre-batching execution
+		// stack, kept selectable for the batch-vs-tuple benchmark and
+		// the cross-validation suite.
+		chans := make([]chan relation.Tuple, shards)
+		for i := range curs {
+			ch := make(chan relation.Tuple, streamChanBuf)
+			chans[i] = ch
+			go func(c core.Cursor, sdb map[string]*relation.Relation, ch chan relation.Tuple) {
+				defer close(ch)
+				if needSort {
+					// Scans hold the partition pointers, so sorting in
+					// place before the first Next is safe and feeds them
+					// sorted.
+					for _, part := range sdb {
+						part.Sort()
+					}
+				}
+				for {
+					t, ok := c.Next()
+					if !ok {
+						return
+					}
+					select {
+					case ch <- t:
+					case <-done:
+						return
+					}
+				}
+			}(curs[i], shardDBs[i], ch)
+		}
+		m := &mergeStream{chans: chans}
+		return &StreamCursor{schema: curs[0].Schema(), next: m.next, stop: stop}, nil
+	}
+
+	// Batched shard channels: each producer fills pooled blocks of up to
+	// core.BatchSize tuples and sends the block — one channel operation
+	// (and at most one goroutine wakeup) per block instead of per tuple,
+	// ~1000x fewer synchronization points on large streams. The merge
+	// advances over the shard blocks' frontiers and emits blocks itself.
+	chans := make([]chan *core.Batch, shards)
 	for i := range curs {
-		ch := make(chan relation.Tuple, streamChanBuf)
+		ch := make(chan *core.Batch, batchChanBuf)
 		chans[i] = ch
-		go func(c core.Cursor, sdb map[string]*relation.Relation, ch chan relation.Tuple) {
+		go func(c core.BatchCursor, sdb map[string]*relation.Relation, ch chan *core.Batch) {
 			defer close(ch)
 			if needSort {
 				// Scans hold the partition pointers, so sorting in place
-				// before the first Next is safe and feeds them sorted.
+				// before the first NextBatch is safe and feeds them
+				// sorted.
 				for _, part := range sdb {
 					part.Sort()
 				}
 			}
+			// The first block is deliberately small: the downstream
+			// merge cannot emit anything until every live shard has
+			// delivered a head block, so a full-size first fill would
+			// delay the stream's first tuple by shards × BatchSize
+			// sweep outputs. Later blocks are full-size pooled ones.
+			first := true
 			for {
-				t, ok := c.Next()
-				if !ok {
+				var b *core.Batch
+				if first {
+					b, first = core.NewBatch(rampBatchSize), false
+				} else {
+					b = core.GetBatch()
+				}
+				if !c.NextBatch(b) {
+					core.PutBatch(b)
 					return
 				}
 				select {
-				case ch <- t:
+				case ch <- b: // ownership moves to the merge
 				case <-done:
+					core.PutBatch(b)
 					return
 				}
 			}
-		}(curs[i], shardDBs[i], ch)
+		}(core.AsBatchCursor(curs[i]), shardDBs[i], ch)
 	}
-
-	m := &mergeStream{chans: chans}
-	var once sync.Once
-	return &StreamCursor{
-		schema: curs[0].Schema(),
-		next:   m.next,
-		stop:   func() { once.Do(func() { close(done) }) },
-	}, nil
+	m := &mergeBatchStream{chans: chans}
+	return &StreamCursor{schema: curs[0].Schema(), nextBatch: m.nextBatch, stop: stop}, nil
 }
 
 // mergeStream k-way merges the shard channels by relation.Less. Each
@@ -231,6 +337,89 @@ func (m *mergeStream) next() (relation.Tuple, bool) {
 		m.heads = m.heads[:last]
 	}
 	return out, true
+}
+
+// mergeBatchStream k-way merges the shard batch channels by
+// relation.Less, advancing over the frontiers of the shards' current
+// blocks. Tuple-wise it computes exactly the mergeStream order (the
+// shards' fact sets are disjoint and each shard stream is sorted), but
+// it touches a channel only once per consumed block and emits its
+// output in blocks too, so the per-tuple cost of the merge is a
+// three-integer compare plus a struct copy.
+type mergeBatchStream struct {
+	chans  []chan *core.Batch
+	bs     []*core.Batch // current block per live shard
+	is     []int         // read index into bs[i].Tuples
+	primed bool
+}
+
+// drop removes lane i after returning its block to the pool.
+func (m *mergeBatchStream) drop(i int) {
+	last := len(m.chans) - 1
+	m.chans[i] = m.chans[last]
+	m.bs[i] = m.bs[last]
+	m.is[i] = m.is[last]
+	m.chans = m.chans[:last]
+	m.bs = m.bs[:last]
+	m.is = m.is[:last]
+}
+
+// advance refills lane i after its block is consumed; the lane is
+// dropped when its channel is closed.
+func (m *mergeBatchStream) advance(i int) {
+	core.PutBatch(m.bs[i])
+	if b, ok := <-m.chans[i]; ok {
+		m.bs[i] = b
+		m.is[i] = 0
+		return
+	}
+	m.drop(i)
+}
+
+func (m *mergeBatchStream) nextBatch(out *core.Batch) bool {
+	out.Reset()
+	if !m.primed {
+		m.primed = true
+		live := m.chans[:0]
+		for _, ch := range m.chans {
+			if b, ok := <-ch; ok {
+				live = append(live, ch)
+				m.bs = append(m.bs, b)
+				m.is = append(m.is, 0)
+			}
+		}
+		m.chans = live
+	}
+	max := out.Cap() // not cap(out.Tuples): honor the fill-target contract for zero batches
+	for len(out.Tuples) < max && len(m.chans) > 0 {
+		if len(m.chans) == 1 {
+			// Single live lane: bulk-copy its block remainder.
+			b, i := m.bs[0], m.is[0]
+			n := len(b.Tuples) - i
+			if room := max - len(out.Tuples); n > room {
+				n = room
+			}
+			out.Tuples = append(out.Tuples, b.Tuples[i:i+n]...)
+			m.is[0] = i + n
+			if m.is[0] == len(b.Tuples) {
+				m.advance(0)
+			}
+			continue
+		}
+		best := 0
+		bt := &m.bs[0].Tuples[m.is[0]]
+		for i := 1; i < len(m.chans); i++ {
+			if t := &m.bs[i].Tuples[m.is[i]]; relation.Less(t, bt) {
+				best, bt = i, t
+			}
+		}
+		out.Tuples = append(out.Tuples, *bt)
+		m.is[best]++
+		if m.is[best] == len(m.bs[best].Tuples) {
+			m.advance(best)
+		}
+	}
+	return len(out.Tuples) > 0
 }
 
 // EvalCursor evaluates the query through the streaming plan and

@@ -88,23 +88,97 @@ func EvaluateCursor(n Node, db map[string]*relation.Relation, opts core.Options)
 
 // selectCursor streams σ[Attr=Value] over its input. Filtering preserves
 // order and duplicate-freeness, so the cursor ordering invariant holds
-// trivially.
+// trivially. It is batch-capable: input blocks are filtered into the
+// output batch (matches copied out, so downstream owns its tuples), and
+// SkipTo forwards run-skipping to the input — a selection commutes with
+// skipping because it only ever drops tuples.
 type selectCursor struct {
 	in    core.Cursor
 	idx   int
 	value string
+
+	// buf/bi buffer the current input block on the batched path; Next
+	// serves any buffered remainder first so tuple- and batch-pulls can
+	// interleave without loss or duplication. done marks input
+	// exhaustion, after which the pooled block has been returned and
+	// buf holds an empty placeholder.
+	buf  *core.Batch
+	bi   int
+	done bool
 }
 
 func (c *selectCursor) Schema() relation.Schema { return c.in.Schema() }
 
 func (c *selectCursor) Next() (relation.Tuple, bool) {
 	for {
-		t, ok := c.in.Next()
+		t, ok := c.nextInput()
 		if !ok {
 			return relation.Tuple{}, false
 		}
 		if c.idx < len(t.Fact) && t.Fact[c.idx] == c.value {
 			return t, true
 		}
+	}
+}
+
+// nextInput returns the next input tuple, draining the buffered block
+// before falling back to the input cursor (whose position the block
+// pulls have already advanced).
+func (c *selectCursor) nextInput() (relation.Tuple, bool) {
+	if c.buf != nil && c.bi < len(c.buf.Tuples) {
+		t := c.buf.Tuples[c.bi]
+		c.bi++
+		return t, true
+	}
+	return c.in.Next()
+}
+
+// NextBatch filters input blocks into b until b is full or the input is
+// exhausted.
+func (c *selectCursor) NextBatch(b *core.Batch) bool {
+	bin, ok := c.in.(core.BatchCursor)
+	if !ok {
+		return core.FillBatch(b, c.Next)
+	}
+	b.Reset()
+	if c.buf == nil && !c.done {
+		c.buf = core.GetBatch()
+	}
+	for len(b.Tuples) < cap(b.Tuples) {
+		if c.buf == nil || c.bi >= len(c.buf.Tuples) {
+			if c.done || !bin.NextBatch(c.buf) {
+				if !c.done {
+					// Input exhausted: hand the pooled block back (cf.
+					// batchSource) and keep an empty placeholder so the
+					// tuple path and SkipTo stay nil-safe.
+					c.done = true
+					core.PutBatch(c.buf)
+					c.buf = &core.Batch{}
+				}
+				break
+			}
+			c.bi = 0
+		}
+		t := &c.buf.Tuples[c.bi]
+		c.bi++
+		if c.idx < len(t.Fact) && t.Fact[c.idx] == c.value {
+			b.Tuples = append(b.Tuples, *t)
+		}
+	}
+	return len(b.Tuples) > 0
+}
+
+// SkipTo discards buffered and upcoming input tuples below k, galloping
+// over the buffered block and delegating the rest to a skip-capable
+// input (scans; nested selections).
+func (c *selectCursor) SkipTo(k relation.FactKey) {
+	if c.buf != nil && c.bi < len(c.buf.Tuples) {
+		c.bi += relation.SkipToKey(c.buf.Tuples[c.bi:], k)
+		if c.bi < len(c.buf.Tuples) {
+			return
+		}
+	}
+	if sk, ok := c.in.(interface{ SkipTo(relation.FactKey) }); ok {
+		sk.SkipTo(k)
 	}
 }

@@ -138,6 +138,20 @@ func (t *Tuple) FactKey() FactKey {
 	return FactKey{key: t.Key(), id: t.fid, dict: t.dict}
 }
 
+// FactKeyRO is FactKey without the lazy key-cache write: when the key is
+// not cached yet it is recomputed instead of stored. The window advancer
+// reads keys through it because its batched sources peek into tuple
+// blocks that may alias a relation shared with concurrent readers (a
+// zero-copy scan of a catalog relation), where the cache write of
+// Tuple.Key would race. In practice the recompute path never runs hot:
+// every constructor, Sort and Bind leave the key cached.
+func (t *Tuple) FactKeyRO() FactKey {
+	if t.key == "" && len(t.Fact) > 0 {
+		return FactKey{key: t.Fact.Key(), id: t.fid, dict: t.dict}
+	}
+	return FactKey{key: t.key, id: t.fid, dict: t.dict}
+}
+
 // Interned reports whether the key carries a dictionary id.
 func (k FactKey) Interned() bool { return k.dict != nil }
 
@@ -371,6 +385,37 @@ func (r *Relation) Clone() *Relation {
 	out := &Relation{Schema: r.Schema, Tuples: make([]Tuple, len(r.Tuples)), dict: r.dict}
 	copy(out.Tuples, r.Tuples)
 	return out
+}
+
+// SkipToKey returns the index of the first tuple of the (fact, Ts)-sorted
+// slice whose fact key is >= k, by galloping: an exponential probe
+// brackets the run, then binary search pins the boundary. A run of m
+// skipped tuples costs O(log m) comparisons — single integer compares
+// when the tuples and k are interned against one dictionary. This is the
+// run-skipping primitive of the window advancer and the batched scan.
+func SkipToKey(ts []Tuple, k FactKey) int {
+	if len(ts) == 0 || !ts[0].FactKeyRO().Less(k) {
+		return 0
+	}
+	// Double until ts[hi] >= k or the slice ends. Invariant afterwards:
+	// ts[hi/2] < k, so the answer lies in (hi/2, min(hi, len)].
+	hi := 1
+	for hi < len(ts) && ts[hi].FactKeyRO().Less(k) {
+		hi *= 2
+	}
+	lo := hi/2 + 1
+	if hi > len(ts) {
+		hi = len(ts)
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if ts[mid].FactKeyRO().Less(k) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Less is the canonical tuple order (fact key, Ts, Te) used by Sort and by

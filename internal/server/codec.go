@@ -64,21 +64,37 @@ func EncodeRelation(r *relation.Relation, version uint64) RelationJSON {
 // of the NDJSON streaming endpoint, and the element encoder of
 // EncodeRelation.
 func EncodeTuple(t *relation.Tuple) TupleJSON {
-	tj := TupleJSON{
-		Fact:    []string(t.Fact),
-		Lineage: t.Lineage.String(),
-		Ts:      t.T.Ts,
-		Te:      t.T.Te,
-		Prob:    t.Prob,
-	}
+	var tj TupleJSON
+	EncodeTupleInto(&tj, t, nil)
+	return tj
+}
+
+// EncodeTupleInto fills tj with the wire form of t, reusing probs (when
+// non-nil) as the VarProbs map — the allocation-free form the batched
+// NDJSON stream uses: one TupleJSON and one marginals map serve a whole
+// stream instead of being reallocated per tuple. The encoded bytes are
+// identical to EncodeTuple's (JSON maps serialize key-sorted). tj and
+// probs must not be retained across calls by the consumer; pass probs
+// nil to allocate a fresh map (EncodeTuple's escape-safe behaviour).
+func EncodeTupleInto(tj *TupleJSON, t *relation.Tuple, probs map[string]float64) {
+	tj.Fact = []string(t.Fact)
+	tj.Lineage = t.Lineage.String()
+	tj.Ts = t.T.Ts
+	tj.Te = t.T.Te
+	tj.Prob = t.Prob
+	tj.VarProbs = nil
 	// A bare variable's marginal is recoverable from the tuple itself
 	// when the probability was valuated eagerly; anything else (a real
 	// formula, or a lazily unvaluated tuple) ships explicit marginals.
 	if t.Lineage != nil && (t.Lineage.Kind() != lineage.KindVar || t.Prob != t.Lineage.VarProb()) {
-		tj.VarProbs = make(map[string]float64)
-		t.Lineage.VarProbs(tj.VarProbs)
+		if probs == nil {
+			probs = make(map[string]float64)
+		} else {
+			clear(probs)
+		}
+		t.Lineage.VarProbs(probs)
+		tj.VarProbs = probs
 	}
-	return tj
 }
 
 // DecodeRelation reconstructs a relation from its wire form. name, when
