@@ -23,6 +23,7 @@ import (
 	"github.com/tpset/tpset/internal/core"
 	"github.com/tpset/tpset/internal/csvio"
 	"github.com/tpset/tpset/internal/engine"
+	"github.com/tpset/tpset/internal/obs"
 	"github.com/tpset/tpset/internal/query"
 	"github.com/tpset/tpset/internal/relation"
 )
@@ -49,6 +50,7 @@ func main() {
 		explain = flag.Bool("explain", false, "print the parsed tree and complexity class")
 		workers = flag.Int("workers", 1, "evaluate on the partition-parallel engine with this many workers (lawa only; 0 = GOMAXPROCS)")
 		stream  = flag.Bool("stream", false, "evaluate through a streaming cursor plan (lawa only): no materialized result, rows written as produced")
+		trace   = flag.Bool("trace", false, "print the per-operator execution trace to stderr after the result (lawa only)")
 	)
 	flag.Parse()
 	if *q == "" || len(rels) == 0 {
@@ -86,12 +88,31 @@ func main() {
 	}
 	relation.InternAll(all...)
 
+	// Tracing evaluates through the cursor plan (the traced execution
+	// stack); the trace tree is printed to stderr after the result so
+	// stdout stays a clean CSV.
+	var span *obs.Span
+	opts := core.Options{}
+	if *trace {
+		if query.Algorithm(*algo) != query.AlgoLAWA {
+			fatal("-trace supports only -algo lawa")
+		}
+		span = obs.NewSpan("")
+		opts.Span = span
+	}
+	printTrace := func() {
+		if span != nil {
+			fmt.Fprintln(os.Stderr, "trace:")
+			span.Snapshot().WriteIndented(os.Stderr)
+		}
+	}
+
 	if *stream {
 		if query.Algorithm(*algo) != query.AlgoLAWA {
 			fatal("-stream supports only -algo lawa")
 		}
 		cur, err := engine.New(engine.Config{Workers: *workers}).
-			Cursor(node, db, core.Options{})
+			Cursor(node, db, opts)
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -112,13 +133,20 @@ func main() {
 		if err := sw.Close(); err != nil {
 			fatal("%v", err)
 		}
+		printTrace()
 		return
 	}
 
 	var out *relation.Relation
-	if (*workers > 1 || *workers == 0) && query.Algorithm(*algo) == query.AlgoLAWA {
+	switch {
+	case span != nil:
+		// Traced: the engine's cursor executor carries the span through
+		// every plan (sequential below the partitioning threshold,
+		// sharded above it).
+		out, err = engine.New(engine.Config{Workers: *workers}).EvalCursor(node, db, opts)
+	case (*workers > 1 || *workers == 0) && query.Algorithm(*algo) == query.AlgoLAWA:
 		out, err = engine.Eval(node, db, engine.Config{Workers: *workers})
-	} else {
+	default:
 		out, err = query.EvaluateWith(node, db, query.Algorithm(*algo))
 	}
 	if err != nil {
@@ -128,6 +156,7 @@ func main() {
 	if err := csvio.Write(os.Stdout, out); err != nil {
 		fatal("%v", err)
 	}
+	printTrace()
 }
 
 func fatal(format string, args ...any) {

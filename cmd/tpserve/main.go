@@ -14,8 +14,9 @@
 //
 // Endpoints:
 //
-//	GET    /healthz              liveness + catalog size
-//	GET    /metrics              query/cache/catalog counters
+//	GET    /healthz              liveness, catalog size, build identity
+//	GET    /metrics              counters + phase latency histograms
+//	                             (JSON; Prometheus text on Accept: text/plain)
 //	GET    /relations            relation names and versions
 //	PUT    /relations/{name}     load or replace a relation (JSON)
 //	GET    /relations/{name}     dump a relation (JSON)
@@ -25,12 +26,21 @@
 //	POST   /query/stream         same body; NDJSON stream (meta line,
 //	                             one tuple per line, {"done":true} trailer),
 //	                             flushed incrementally, result cache bypassed
+//	POST   /query/explain        same body; runs the plan and returns the
+//	                             per-operator trace, no result payload
+//
+// Query bodies accept "trace":true to get a per-operator execution
+// trace in the response envelope (stream trailer for /query/stream).
+// -log-level enables structured JSON request logs; -debug-addr serves
+// net/http/pprof on a separate listener.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux (-debug-addr)
 	"os"
 	"strconv"
 	"strings"
@@ -51,10 +61,12 @@ func main() {
 	flag.Var(&rels, "rel", "name=path.csv: seed the catalog from a CSV file (repeatable)")
 	flag.Var(&gens, "gen", "name:tuples:facts: seed a synthetic §VII-B relation (repeatable)")
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "default worker budget per query (0 = GOMAXPROCS)")
-		cache   = flag.Int("cache", server.DefaultCacheSize, "result-cache capacity in entries (negative disables)")
-		seed    = flag.Int64("seed", 1, "generator seed (-gen)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "default worker budget per query (0 = GOMAXPROCS)")
+		cache     = flag.Int("cache", server.DefaultCacheSize, "result-cache capacity in entries (negative disables)")
+		seed      = flag.Int64("seed", 1, "generator seed (-gen)")
+		logLevel  = flag.String("log-level", "", "enable JSON request logs to stderr at this level: debug|info|warn|error (empty disables)")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof debug endpoints on this address (empty disables)")
 	)
 	flag.Parse()
 
@@ -62,7 +74,27 @@ func main() {
 	if cacheSize == 0 {
 		cacheSize = -1 // flag 0 means "no cache"; Config 0 means "default"
 	}
-	srv := server.New(server.Config{Workers: *workers, CacheSize: cacheSize})
+	var logger *slog.Logger
+	if *logLevel != "" {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+			fatalf("-log-level %q: want debug|info|warn|error", *logLevel)
+		}
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	}
+	srv := server.New(server.Config{Workers: *workers, CacheSize: cacheSize, Logger: logger})
+
+	if *debugAddr != "" {
+		// The pprof import registered its handlers on DefaultServeMux; the
+		// API below serves its own mux, so the profiling surface is only
+		// reachable through this (typically loopback-bound) listener.
+		go func() {
+			fmt.Fprintf(os.Stderr, "tpserve: pprof debug endpoints on %s/debug/pprof/\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "tpserve: debug listener: %v\n", err)
+			}
+		}()
+	}
 
 	for _, spec := range rels {
 		name, path, ok := strings.Cut(spec, "=")

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/tpset/tpset/internal/relation"
 )
@@ -62,11 +63,27 @@ func (b *Batch) Cap() int {
 func (b *Batch) Len() int { return len(b.Tuples) }
 
 var batchPool = sync.Pool{
-	New: func() any { return NewBatch(BatchSize) },
+	New: func() any {
+		batchPoolNews.Add(1)
+		return NewBatch(BatchSize)
+	},
+}
+
+// Batch-pool instruments: gets and puts count pool traffic, news counts
+// pool misses (the pool had to allocate fresh storage — GC dropped the
+// pool or demand outgrew it), drops counts PutBatch rejections of
+// odd-capacity blocks. One atomic add per ~BatchSize tuples — noise.
+var batchPoolGets, batchPoolPuts, batchPoolNews, batchPoolDrops atomic.Uint64
+
+// BatchPoolStats returns the batch-pool counters (gets, puts, pool
+// misses, odd-capacity drops) for the metrics endpoint.
+func BatchPoolStats() (gets, puts, news, drops uint64) {
+	return batchPoolGets.Load(), batchPoolPuts.Load(), batchPoolNews.Load(), batchPoolDrops.Load()
 }
 
 // GetBatch returns an empty pooled batch of BatchSize capacity.
 func GetBatch() *Batch {
+	batchPoolGets.Add(1)
 	b := batchPool.Get().(*Batch)
 	b.Reset()
 	return b
@@ -81,8 +98,10 @@ func GetBatch() *Batch {
 // always returns full-capacity storage.
 func PutBatch(b *Batch) {
 	if cap(b.own) != BatchSize {
+		batchPoolDrops.Add(1)
 		return
 	}
+	batchPoolPuts.Add(1)
 	b.Tuples = nil
 	batchPool.Put(b)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"github.com/tpset/tpset/internal/obs"
 	"github.com/tpset/tpset/internal/relation"
 )
 
@@ -44,6 +45,15 @@ type Options struct {
 	// Exists for the cross-validation suite and the batch-vs-tuple
 	// benchmark; leave it unset otherwise.
 	NoRunSkip bool
+	// Span attaches an execution-trace node to the plan being built:
+	// query.BuildCursor labels it with the root operator, hangs one
+	// child span per sub-operator under it and wraps every cursor so
+	// pulls record tuples, batches, windows, gallops and wall time (the
+	// engine additionally records per-shard subtrees and channel-stall
+	// time). nil — the default — disables tracing completely: the plan
+	// is built without wrappers or timing calls, so an untraced query
+	// pays nothing (the ≤2% overhead pin of the obs layer).
+	Span *obs.Span
 }
 
 // Workers resolves Parallelism to an effective worker count: 0 (unset)

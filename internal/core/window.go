@@ -218,7 +218,20 @@ type Advancer struct {
 	// exactly those the operation discards, so the filtered output is
 	// bit-identical with skipping on or off.
 	skipR, skipS bool
+
+	// windows/gallops count produced candidate windows and run-skip
+	// gallops taken (skipTo calls from skipRuns). Counted
+	// unconditionally — two local increments per window are below
+	// measurement noise — and published into the execution trace by the
+	// traced OpCursor wrapper when tracing is on.
+	windows, gallops int64
 }
+
+// Windows returns the number of candidate windows produced so far.
+func (a *Advancer) Windows() int64 { return a.windows }
+
+// Gallops returns the number of run-skip gallops taken so far.
+func (a *Advancer) Gallops() int64 { return a.gallops }
 
 // NewAdvancer returns an advancer over two relations that must already be
 // sorted by (fact, Ts) — the sort step of Fig. 5. Sortedness is a
@@ -379,6 +392,7 @@ func (a *Advancer) Next() (Window, bool) {
 		a.sValid = nil
 	}
 	a.prevWinTe = winTe
+	a.windows++
 	return w, true
 }
 
@@ -405,11 +419,13 @@ func (a *Advancer) skipRuns() {
 				return
 			}
 			a.r.skipTo(sk)
+			a.gallops++
 		case sk.Less(rk):
 			if !a.skipS {
 				return
 			}
 			a.s.skipTo(rk)
+			a.gallops++
 		default:
 			return
 		}

@@ -1,10 +1,15 @@
 package engine
 
 import (
+	"context"
+	"fmt"
+	"log/slog"
 	"sync"
+	"time"
 
 	"github.com/tpset/tpset/internal/core"
 	"github.com/tpset/tpset/internal/keys"
+	"github.com/tpset/tpset/internal/obs"
 	"github.com/tpset/tpset/internal/query"
 	"github.com/tpset/tpset/internal/relation"
 )
@@ -115,6 +120,24 @@ func (c *StreamCursor) Close() {
 // Either way the stream is bit-identical to Eval's result, in the same
 // canonical order, with no intermediate relation materialized.
 func (e *Engine) Cursor(n query.Node, db map[string]*relation.Relation, opts core.Options) (*StreamCursor, error) {
+	return e.CursorCtx(context.Background(), n, db, opts)
+}
+
+// CursorCtx is Cursor with a request context. The context carries two
+// observability hooks: a cancellation signal — shard producers abandon
+// their sweep when the context is cancelled (a streaming client that
+// disconnects stops paying for shards it will never read) — and an
+// optional request-scoped logger (obs.WithLogger), which makes shard
+// producers emit per-shard debug records tagged with the request ID.
+//
+// Tracing: when opts.Span is set, the sequential plan threads it
+// through query.BuildCursor as usual; the partitioned plan labels it as
+// the k-way merge node, hangs one per-shard plan subtree under it
+// (each a full traced cursor tree over that shard's partitions) and
+// additionally records channel-stall time — producer time blocked on a
+// full shard channel, merge time blocked waiting for a shard's next
+// block.
+func (e *Engine) CursorCtx(ctx context.Context, n query.Node, db map[string]*relation.Relation, opts core.Options) (*StreamCursor, error) {
 	names := query.Relations(n)
 	total := 0
 	for _, name := range names {
@@ -190,14 +213,31 @@ func (e *Engine) Cursor(n query.Node, db map[string]*relation.Relation, opts cor
 	opts.AssumeSorted = true // shard partitions are engine-private
 
 	// Build every shard plan up front so plan errors surface synchronously.
+	// With tracing on, the request's span becomes the merge node and each
+	// shard plan records into its own subtree beneath it.
+	rootSp := opts.Span
 	curs := make([]core.Cursor, shards)
+	shardSpans := make([]*obs.Span, shards)
 	for i := range curs {
-		c, err := query.BuildCursor(n, shardDBs[i], opts)
+		shardOpts := opts
+		if rootSp != nil {
+			shardSpans[i] = rootSp.NewChild("")
+			shardOpts.Span = shardSpans[i]
+		}
+		c, err := query.BuildCursor(n, shardDBs[i], shardOpts)
 		if err != nil {
 			return nil, err
 		}
+		if rootSp != nil {
+			shardSpans[i].PrefixOp(fmt.Sprintf("shard%d: ", i))
+		}
 		curs[i] = c
 	}
+	if rootSp != nil {
+		rootSp.SetOp(fmt.Sprintf("merge[%d shards]", shards))
+	}
+	lg := obs.Logger(ctx)
+	ctxDone := ctx.Done() // nil without a cancellable ctx: select case never fires
 
 	// Producers run on dedicated goroutines rather than the engine's
 	// pooled semaphore: the merge needs every shard's head tuple, so
@@ -217,8 +257,11 @@ func (e *Engine) Cursor(n query.Node, db map[string]*relation.Relation, opts cor
 		for i := range curs {
 			ch := make(chan relation.Tuple, streamChanBuf)
 			chans[i] = ch
-			go func(c core.Cursor, sdb map[string]*relation.Relation, ch chan relation.Tuple) {
+			go func(i int, c core.Cursor, sdb map[string]*relation.Relation, ch chan relation.Tuple) {
 				defer close(ch)
+				sp := shardSpans[i]
+				start := time.Now()
+				sent := 0
 				if needSort {
 					// Scans hold the partition pointers, so sorting in
 					// place before the first Next is safe and feeds them
@@ -230,18 +273,41 @@ func (e *Engine) Cursor(n query.Node, db map[string]*relation.Relation, opts cor
 				for {
 					t, ok := c.Next()
 					if !ok {
+						logShardDrained(lg, ctx, i, sent, start)
 						return
+					}
+					var sendStart time.Time
+					if sp != nil {
+						sendStart = time.Now()
 					}
 					select {
 					case ch <- t:
+						if sp != nil {
+							sp.AddStall(time.Since(sendStart))
+						}
+						sent++
 					case <-done:
+						return
+					case <-ctxDone:
 						return
 					}
 				}
-			}(curs[i], shardDBs[i], ch)
+			}(i, curs[i], shardDBs[i], ch)
 		}
-		m := &mergeStream{chans: chans}
-		return &StreamCursor{schema: curs[0].Schema(), next: m.next, stop: stop}, nil
+		m := &mergeStream{chans: chans, sp: rootSp}
+		next := m.next
+		if rootSp != nil {
+			next = func() (relation.Tuple, bool) {
+				t0 := time.Now()
+				t, ok := m.next()
+				rootSp.AddWall(time.Since(t0))
+				if ok {
+					rootSp.AddTuples(1)
+				}
+				return t, ok
+			}
+		}
+		return &StreamCursor{schema: curs[0].Schema(), next: next, stop: stop}, nil
 	}
 
 	// Batched shard channels: each producer fills pooled blocks of up to
@@ -253,8 +319,11 @@ func (e *Engine) Cursor(n query.Node, db map[string]*relation.Relation, opts cor
 	for i := range curs {
 		ch := make(chan *core.Batch, batchChanBuf)
 		chans[i] = ch
-		go func(c core.BatchCursor, sdb map[string]*relation.Relation, ch chan *core.Batch) {
+		go func(i int, c core.BatchCursor, sdb map[string]*relation.Relation, ch chan *core.Batch) {
 			defer close(ch)
+			sp := shardSpans[i]
+			start := time.Now()
+			sent := 0
 			if needSort {
 				// Scans hold the partition pointers, so sorting in place
 				// before the first NextBatch is safe and feeds them
@@ -278,19 +347,58 @@ func (e *Engine) Cursor(n query.Node, db map[string]*relation.Relation, opts cor
 				}
 				if !c.NextBatch(b) {
 					core.PutBatch(b)
+					logShardDrained(lg, ctx, i, sent, start)
 					return
+				}
+				n := len(b.Tuples)
+				var sendStart time.Time
+				if sp != nil {
+					sendStart = time.Now()
 				}
 				select {
 				case ch <- b: // ownership moves to the merge
+					if sp != nil {
+						sp.AddStall(time.Since(sendStart))
+					}
+					sent += n
 				case <-done:
+					core.PutBatch(b)
+					return
+				case <-ctxDone:
 					core.PutBatch(b)
 					return
 				}
 			}
-		}(core.AsBatchCursor(curs[i]), shardDBs[i], ch)
+		}(i, core.AsBatchCursor(curs[i]), shardDBs[i], ch)
 	}
-	m := &mergeBatchStream{chans: chans}
-	return &StreamCursor{schema: curs[0].Schema(), nextBatch: m.nextBatch, stop: stop}, nil
+	m := &mergeBatchStream{chans: chans, sp: rootSp}
+	nextBatch := m.nextBatch
+	if rootSp != nil {
+		nextBatch = func(b *core.Batch) bool {
+			t0 := time.Now()
+			ok := m.nextBatch(b)
+			rootSp.AddWall(time.Since(t0))
+			if ok {
+				rootSp.AddTuples(int64(len(b.Tuples)))
+				rootSp.AddBatches(1)
+			}
+			return ok
+		}
+	}
+	return &StreamCursor{schema: curs[0].Schema(), nextBatch: nextBatch, stop: stop}, nil
+}
+
+// logShardDrained emits the per-shard completion record of a producer
+// goroutine — request-scoped debug logging, a no-op unless the caller
+// attached a logger to the context (obs.WithLogger).
+func logShardDrained(lg *slog.Logger, ctx context.Context, shard, tuples int, start time.Time) {
+	if lg == nil {
+		return
+	}
+	lg.LogAttrs(ctx, slog.LevelDebug, "shard drained",
+		slog.Int("shard", shard),
+		slog.Int("tuples", tuples),
+		slog.Duration("elapsed", time.Since(start)))
 }
 
 // mergeStream k-way merges the shard channels by relation.Less. Each
@@ -303,6 +411,20 @@ type mergeStream struct {
 	chans  []chan relation.Tuple
 	heads  []relation.Tuple
 	primed bool
+	sp     *obs.Span // nil unless traced: records merge-side channel stall
+}
+
+// recv pulls from ch, charging time blocked on the receive to the merge
+// span's stall counter when traced.
+func (m *mergeStream) recv(ch chan relation.Tuple) (relation.Tuple, bool) {
+	if m.sp == nil {
+		t, ok := <-ch
+		return t, ok
+	}
+	start := time.Now()
+	t, ok := <-ch
+	m.sp.AddStall(time.Since(start))
+	return t, ok
 }
 
 func (m *mergeStream) next() (relation.Tuple, bool) {
@@ -310,7 +432,7 @@ func (m *mergeStream) next() (relation.Tuple, bool) {
 		m.primed = true
 		live := m.chans[:0]
 		for _, ch := range m.chans {
-			if t, ok := <-ch; ok {
+			if t, ok := m.recv(ch); ok {
 				live = append(live, ch)
 				m.heads = append(m.heads, t)
 			}
@@ -327,7 +449,7 @@ func (m *mergeStream) next() (relation.Tuple, bool) {
 		}
 	}
 	out := m.heads[best]
-	if t, ok := <-m.chans[best]; ok {
+	if t, ok := m.recv(m.chans[best]); ok {
 		m.heads[best] = t
 	} else {
 		last := len(m.chans) - 1
@@ -351,6 +473,20 @@ type mergeBatchStream struct {
 	bs     []*core.Batch // current block per live shard
 	is     []int         // read index into bs[i].Tuples
 	primed bool
+	sp     *obs.Span // nil unless traced: records merge-side channel stall
+}
+
+// recv pulls a block from ch, charging time blocked on the receive to
+// the merge span's stall counter when traced.
+func (m *mergeBatchStream) recv(ch chan *core.Batch) (*core.Batch, bool) {
+	if m.sp == nil {
+		b, ok := <-ch
+		return b, ok
+	}
+	start := time.Now()
+	b, ok := <-ch
+	m.sp.AddStall(time.Since(start))
+	return b, ok
 }
 
 // drop removes lane i after returning its block to the pool.
@@ -368,7 +504,7 @@ func (m *mergeBatchStream) drop(i int) {
 // dropped when its channel is closed.
 func (m *mergeBatchStream) advance(i int) {
 	core.PutBatch(m.bs[i])
-	if b, ok := <-m.chans[i]; ok {
+	if b, ok := m.recv(m.chans[i]); ok {
 		m.bs[i] = b
 		m.is[i] = 0
 		return
@@ -382,7 +518,7 @@ func (m *mergeBatchStream) nextBatch(out *core.Batch) bool {
 		m.primed = true
 		live := m.chans[:0]
 		for _, ch := range m.chans {
-			if b, ok := <-ch; ok {
+			if b, ok := m.recv(ch); ok {
 				live = append(live, ch)
 				m.bs = append(m.bs, b)
 				m.is = append(m.is, 0)
@@ -426,7 +562,15 @@ func (m *mergeBatchStream) nextBatch(out *core.Batch) bool {
 // materializes only the final result — the cursor-executor form of
 // EvalWith, used by the query service's non-streaming path.
 func (e *Engine) EvalCursor(n query.Node, db map[string]*relation.Relation, opts core.Options) (*relation.Relation, error) {
-	c, err := e.Cursor(n, db, opts)
+	return e.EvalCursorCtx(context.Background(), n, db, opts)
+}
+
+// EvalCursorCtx is EvalCursor with a request context — cancellation
+// stops the shard producers early (the result is then truncated, so
+// callers must check ctx.Err before trusting or caching it), and a
+// context logger/request ID flows into the engine's debug records.
+func (e *Engine) EvalCursorCtx(ctx context.Context, n query.Node, db map[string]*relation.Relation, opts core.Options) (*relation.Relation, error) {
+	c, err := e.CursorCtx(ctx, n, db, opts)
 	if err != nil {
 		return nil, err
 	}

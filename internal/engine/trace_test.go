@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/obs"
+	"github.com/tpset/tpset/internal/query"
+)
+
+// Golden trace-correctness tests: the per-operator counts of a traced
+// plan must equal the operators' actual output, and tracing must never
+// change the result stream itself.
+
+// checkSpanInvariants walks a stats tree checking the structural
+// invariants that hold for every traced plan: TuplesIn equals the sum
+// of the children's TuplesOut, and a set-operation node never emits
+// more tuples than the candidate windows its advancer popped (each
+// window yields at most one output tuple).
+func checkSpanInvariants(t *testing.T, st *obs.SpanStats) {
+	t.Helper()
+	var childOut int64
+	for _, c := range st.Children {
+		childOut += c.TuplesOut
+		checkSpanInvariants(t, c)
+	}
+	if st.TuplesIn != childOut {
+		t.Fatalf("node %q: tuplesIn = %d, want sum of children %d", st.Op, st.TuplesIn, childOut)
+	}
+	if st.Windows > 0 && st.TuplesOut > st.Windows {
+		t.Fatalf("node %q: tuplesOut %d > windows %d", st.Op, st.TuplesOut, st.Windows)
+	}
+}
+
+// TestTraceGoldenSequential pins exact per-node counts on a fixed
+// union-only tree — unions drain both inputs completely, so every
+// node's emission equals its subtree's full result — across the tuple
+// and batch executors.
+func TestTraceGoldenSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	db := streamRandomDB(rng, 3, 200, 24)
+	tree := &query.SetOp{
+		Op:    core.OpUnion,
+		Left:  &query.SetOp{Op: core.OpUnion, Left: &query.Rel{Name: "r0"}, Right: &query.Rel{Name: "r1"}},
+		Right: &query.Rel{Name: "r2"},
+	}
+	want, err := query.EvaluateWith(tree, db, query.AlgoLAWA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := query.EvaluateWith(tree.Left, db, query.AlgoLAWA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, noBatch := range []bool{false, true} {
+		span := obs.NewSpan("")
+		got, err := New(Config{Workers: 1}).EvalCursor(tree, db,
+			core.Options{Span: span, NoBatch: noBatch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdenticalStreams(t, "traced sequential", got, want)
+
+		st := span.Snapshot()
+		checkSpanInvariants(t, st)
+		if st.Op != "∪Tp" {
+			t.Fatalf("root op = %q, want ∪Tp", st.Op)
+		}
+		if st.TuplesOut != int64(want.Len()) {
+			t.Fatalf("noBatch=%v: root tuplesOut = %d, want %d", noBatch, st.TuplesOut, want.Len())
+		}
+		if len(st.Children) != 2 {
+			t.Fatalf("root children = %d, want 2", len(st.Children))
+		}
+		left, right := st.Children[0], st.Children[1]
+		if left.TuplesOut != int64(inner.Len()) {
+			t.Fatalf("noBatch=%v: inner union tuplesOut = %d, want %d", noBatch, left.TuplesOut, inner.Len())
+		}
+		if right.Op != "scan(r2)" || right.TuplesOut != int64(db["r2"].Len()) {
+			t.Fatalf("noBatch=%v: scan(r2) = %q/%d, want %d tuples", noBatch, right.Op, right.TuplesOut, db["r2"].Len())
+		}
+		for i, name := range []string{"r0", "r1"} {
+			sc := left.Children[i]
+			if sc.TuplesOut != int64(db[name].Len()) {
+				t.Fatalf("noBatch=%v: scan(%s) tuplesOut = %d, want %d", noBatch, name, sc.TuplesOut, db[name].Len())
+			}
+		}
+		if st.Windows == 0 || left.Windows == 0 {
+			t.Fatalf("noBatch=%v: union nodes report no windows (%d, %d)", noBatch, st.Windows, left.Windows)
+		}
+	}
+}
+
+// TestTraceGoldenMixedOps runs a fixed tree with all three operations
+// plus a selection: exact root count against the materializing
+// evaluator, structural invariants everywhere, across executors.
+func TestTraceGoldenMixedOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	db := streamRandomDB(rng, 3, 300, 24)
+	tree := &query.SetOp{
+		Op: core.OpExcept,
+		Left: &query.SetOp{
+			Op:    core.OpUnion,
+			Left:  &query.Rel{Name: "r0"},
+			Right: &query.Select{Attr: "F", Value: "f003", Input: &query.Rel{Name: "r1"}},
+		},
+		Right: &query.SetOp{Op: core.OpIntersect, Left: &query.Rel{Name: "r1"}, Right: &query.Rel{Name: "r2"}},
+	}
+	want, err := query.EvaluateWith(tree, db, query.AlgoLAWA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, noBatch := range []bool{false, true} {
+		span := obs.NewSpan("")
+		got, err := New(Config{Workers: 1}).EvalCursor(tree, db,
+			core.Options{Span: span, NoBatch: noBatch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdenticalStreams(t, "traced mixed", got, want)
+		st := span.Snapshot()
+		checkSpanInvariants(t, st)
+		if st.Op != "−Tp" {
+			t.Fatalf("root op = %q, want −Tp", st.Op)
+		}
+		if st.TuplesOut != int64(want.Len()) {
+			t.Fatalf("noBatch=%v: root tuplesOut = %d, want %d", noBatch, st.TuplesOut, want.Len())
+		}
+	}
+}
+
+// TestTraceGoldenSharded pins the partitioned plan's trace across
+// worker counts: the root (merge) node's emission equals the full
+// result, every shard subtree satisfies the structural invariants, and
+// the shards' root emissions sum to the result cardinality (shard fact
+// sets are disjoint and exhaustive).
+func TestTraceGoldenSharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	db := streamRandomDB(rng, 3, 400, 32)
+	tree := &query.SetOp{
+		Op:    core.OpUnion,
+		Left:  &query.SetOp{Op: core.OpExcept, Left: &query.Rel{Name: "r0"}, Right: &query.Rel{Name: "r1"}},
+		Right: &query.Rel{Name: "r2"},
+	}
+	want, err := query.EvaluateWith(tree, db, query.AlgoLAWA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		for _, noBatch := range []bool{false, true} {
+			span := obs.NewSpan("")
+			e := New(Config{Workers: workers, MinPartitionSize: 8})
+			got, err := e.EvalCursor(tree, db, core.Options{Span: span, NoBatch: noBatch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdenticalStreams(t, "traced sharded", got, want)
+			st := span.Snapshot()
+			checkSpanInvariants(t, st)
+			if st.TuplesOut != int64(want.Len()) {
+				t.Fatalf("workers=%d noBatch=%v: merge tuplesOut = %d, want %d",
+					workers, noBatch, st.TuplesOut, want.Len())
+			}
+			if len(st.Children) < 2 {
+				t.Fatalf("workers=%d: merge has %d shard subtrees, want >= 2", workers, len(st.Children))
+			}
+			// The merge's input is the shards' output: disjoint fact
+			// partitions covering the whole result.
+			if st.TuplesIn != int64(want.Len()) {
+				t.Fatalf("workers=%d noBatch=%v: shard outputs sum to %d, want %d",
+					workers, noBatch, st.TuplesIn, want.Len())
+			}
+		}
+	}
+}
+
+// TestTraceGallopsRecorded pins that run-skipping sweeps surface their
+// gallop counts in the trace: a highly fact-disjoint intersection takes
+// SkipToKey gallops, and the trace must show them on the operator node.
+func TestTraceGallopsRecorded(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	db := streamRandomDB(rng, 2, 400, 200) // many facts, sparse overlap
+	tree := &query.SetOp{Op: core.OpIntersect,
+		Left: &query.Rel{Name: "r0"}, Right: &query.Rel{Name: "r1"}}
+	span := obs.NewSpan("")
+	if _, err := New(Config{Workers: 1}).EvalCursor(tree, db, core.Options{Span: span}); err != nil {
+		t.Fatal(err)
+	}
+	st := span.Snapshot()
+	if st.Gallops == 0 {
+		t.Fatal("sparse intersection recorded no gallops")
+	}
+}

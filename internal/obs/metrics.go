@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic instrument. The zero
+// value is ready to use.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value (an atomic snapshot).
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Histogram buckets: log2 scale over microseconds. Bucket i counts
+// observations d with d ≤ 2^i µs (non-cumulative storage; exposition
+// accumulates). The last bucket is +Inf. 2^25 µs ≈ 33.6 s — beyond any
+// sane request latency; slower observations land in +Inf.
+const (
+	histMaxExp  = 25
+	histBuckets = histMaxExp + 2 // exponents 0..25, plus +Inf
+)
+
+// Histogram is a bounded log-scale latency histogram. Observe is
+// lock-free (one atomic add into a bucket plus count and sum), so it is
+// safe on hot paths under arbitrary concurrency; snapshots read each
+// bucket atomically without stopping writers. The zero value is ready
+// to use.
+type Histogram struct {
+	buckets  [histBuckets]atomic.Uint64
+	count    atomic.Uint64
+	sumNanos atomic.Int64
+}
+
+// bucketIndex returns the bucket of a d-microsecond observation: the
+// smallest i with d ≤ 2^i µs.
+func bucketIndex(us int64) int {
+	if us <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(us - 1)) // smallest i with 2^i >= us
+	if i > histMaxExp {
+		return histBuckets - 1 // +Inf
+	}
+	return i
+}
+
+// Observe records one latency observation.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(int64(d/time.Microsecond))].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// HistogramStats is the JSON snapshot of a histogram: totals plus
+// estimated quantiles (each quantile reports the upper bound of the
+// bucket where its rank falls — an overestimate by at most 2x, the
+// bucket width of the log2 scheme).
+type HistogramStats struct {
+	Count     uint64  `json:"count"`
+	SumMicros int64   `json:"sumMicros"`
+	P50Micros float64 `json:"p50Micros"`
+	P90Micros float64 `json:"p90Micros"`
+	P99Micros float64 `json:"p99Micros"`
+}
+
+// Snapshot freezes the histogram. Buckets are read individually (each
+// atomically); under concurrent writers the totals may be off by the
+// few observations in flight, never torn.
+func (h *Histogram) Snapshot() HistogramStats {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	st := HistogramStats{
+		Count:     h.count.Load(),
+		SumMicros: h.sumNanos.Load() / int64(time.Microsecond),
+	}
+	quantile := func(q float64) float64 {
+		if total == 0 {
+			return 0
+		}
+		rank := uint64(math.Ceil(q * float64(total)))
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			if cum >= rank {
+				if i == histBuckets-1 {
+					return math.Inf(1)
+				}
+				return float64(uint64(1) << i)
+			}
+		}
+		return math.Inf(1)
+	}
+	st.P50Micros = quantile(0.50)
+	st.P90Micros = quantile(0.90)
+	st.P99Micros = quantile(0.99)
+	return st
+}
+
+// --- Prometheus text exposition ---
+
+// WritePrometheus renders the histogram in Prometheus text format under
+// the given metric name (which should end in _seconds): cumulative
+// buckets with le in seconds, then _sum and _count.
+func (h *Histogram) WritePrometheus(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i := 0; i < histBuckets-1; i++ {
+		cum += h.buckets[i].Load()
+		le := float64(uint64(1)<<i) * 1e-6 // bucket upper bound in seconds
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatLe(le), cum)
+	}
+	cum += h.buckets[histBuckets-1].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNanos.Load())/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+// formatLe renders a bucket bound the way Prometheus clients
+// conventionally do (shortest representation that round-trips).
+func formatLe(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteCounterProm renders a counter in Prometheus text format.
+func WriteCounterProm(w io.Writer, name, help string, v uint64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// WriteGaugeProm renders a gauge in Prometheus text format.
+func WriteGaugeProm(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}

@@ -25,7 +25,14 @@ import (
 // every leaf is cloned and sorted at build time (streams themselves are
 // always sorted by the cursor ordering invariant). Validate checks each
 // referenced leaf for duplicate-freeness once.
+//
+// When opts.Span is set, the plan is built traced: the span is labeled
+// with this node's operator, one child span is hung under it per
+// sub-plan, and every cursor is wrapped so pulls record per-operator
+// stats (core.Traced). The traced plan's output is bit-identical to the
+// untraced one. With a nil Span no wrapper exists anywhere in the tree.
 func BuildCursor(n Node, db map[string]*relation.Relation, opts core.Options) (core.Cursor, error) {
+	sp := opts.Span
 	switch q := n.(type) {
 	case *Rel:
 		r, ok := db[q.Name]
@@ -42,9 +49,16 @@ func BuildCursor(n Node, db map[string]*relation.Relation, opts core.Options) (c
 			r = r.Clone()
 			r.Sort()
 		}
-		return core.NewScanCursor(r), nil
+		if sp != nil {
+			sp.SetOp("scan(" + q.Name + ")")
+		}
+		return core.Traced(core.NewScanCursor(r), sp), nil
 	case *Select:
-		in, err := BuildCursor(q.Input, db, opts)
+		childOpts := opts
+		if sp != nil {
+			childOpts.Span = sp.NewChild("")
+		}
+		in, err := BuildCursor(q.Input, db, childOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -60,17 +74,32 @@ func BuildCursor(n Node, db map[string]*relation.Relation, opts core.Options) (c
 			return nil, fmt.Errorf("query: relation %q has no attribute %q (have %s)",
 				schema.Name, q.Attr, strings.Join(schema.Attrs, ", "))
 		}
-		return &selectCursor{in: in, idx: idx, value: q.Value}, nil
+		if sp != nil {
+			sp.SetOp(fmt.Sprintf("σ[%s=%s]", q.Attr, q.Value))
+		}
+		return core.Traced(&selectCursor{in: in, idx: idx, value: q.Value}, sp), nil
 	case *SetOp:
-		l, err := BuildCursor(q.Left, db, opts)
+		lOpts, rOpts := opts, opts
+		if sp != nil {
+			lOpts.Span = sp.NewChild("")
+			rOpts.Span = sp.NewChild("")
+		}
+		l, err := BuildCursor(q.Left, db, lOpts)
 		if err != nil {
 			return nil, err
 		}
-		r, err := BuildCursor(q.Right, db, opts)
+		r, err := BuildCursor(q.Right, db, rOpts)
 		if err != nil {
 			return nil, err
 		}
-		return core.NewOpCursor(q.Op, l, r, opts)
+		oc, err := core.NewOpCursor(q.Op, l, r, opts)
+		if err != nil {
+			return nil, err
+		}
+		if sp != nil {
+			sp.SetOp(q.Op.String())
+		}
+		return core.Traced(oc, sp), nil
 	}
 	return nil, fmt.Errorf("query: unknown node type %T", n)
 }

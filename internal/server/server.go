@@ -1,16 +1,19 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
-	"sync/atomic"
+	"runtime/debug"
 	"time"
 
 	"github.com/tpset/tpset/internal/core"
 	"github.com/tpset/tpset/internal/engine"
+	"github.com/tpset/tpset/internal/obs"
 	"github.com/tpset/tpset/internal/query"
 	"github.com/tpset/tpset/internal/relation"
 )
@@ -23,6 +26,12 @@ type Config struct {
 	// CacheSize bounds the result cache in entries. 0 selects
 	// DefaultCacheSize; negative disables caching.
 	CacheSize int
+	// Logger receives structured request logs (one record per request,
+	// plus request-scoped engine debug records when it is enabled at
+	// Debug level). nil disables request logging entirely — no logger is
+	// attached to request contexts and the handler chain has no logging
+	// wrapper, so the unlogged server is exactly the PR 5 handler stack.
+	Logger *slog.Logger
 }
 
 // DefaultCacheSize is the result-cache capacity when Config leaves it 0.
@@ -38,10 +47,7 @@ type Server struct {
 	cache   *Cache
 	mux     *http.ServeMux
 	started time.Time
-
-	queries   atomic.Uint64 // POST /query requests admitted to evaluation or cache
-	evalCount atomic.Uint64 // queries actually evaluated (cache misses)
-	streams   atomic.Uint64 // POST /query/stream requests that started streaming
+	metrics serverMetrics
 }
 
 // MaxWorkers bounds the per-request worker budget: the engine sizes its
@@ -106,11 +112,78 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /stats/{name}", s.handleStats)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /query/stream", s.handleQueryStream)
+	s.mux.HandleFunc("POST /query/explain", s.handleQueryExplain)
 	return s
 }
 
-// Handler returns the HTTP handler serving the API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler serving the API. With a configured
+// logger it is wrapped in the request-logging middleware; without one
+// it is the bare mux.
+func (s *Server) Handler() http.Handler {
+	if s.cfg.Logger == nil {
+		return s.mux
+	}
+	return s.requestLog(s.mux)
+}
+
+// requestLog is the logging middleware: it mints a request ID, attaches
+// it and a request-scoped logger to the context (obs.WithRequestID /
+// obs.WithLogger — the engine's shard workers pick the logger up from
+// there), and emits one structured record per request with method,
+// path, status, response bytes and latency.
+func (s *Server) requestLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := obs.NewRequestID()
+		lg := s.cfg.Logger.With(slog.String("req", id))
+		ctx := obs.WithLogger(obs.WithRequestID(r.Context(), id), lg)
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		lg.LogAttrs(ctx, slog.LevelInfo, "request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status()),
+			slog.Int64("bytes", rec.bytes),
+			slog.Duration("elapsed", time.Since(start)))
+	})
+}
+
+// statusRecorder captures the response status and byte count for the
+// request log. Flush forwards to the underlying writer so the NDJSON
+// stream's per-batch flushes keep working through the middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// status returns the response code, defaulting to 200 when the handler
+// never called WriteHeader explicitly.
+func (r *statusRecorder) status() int {
+	if r.code == 0 {
+		return http.StatusOK
+	}
+	return r.code
+}
 
 // Load seeds or replaces a catalog relation programmatically (startup
 // seeding by cmd/tpserve; tests). Exactly like a PUT request, it checks
@@ -134,6 +207,8 @@ func (s *Server) Load(name string, rel *relation.Relation) (uint64, error) {
 	rel.Sort()
 	version, _ := s.catalog.Put(name, rel)
 	s.cache.InvalidateRelation(name)
+	s.metrics.admissions.Inc()
+	s.metrics.tuplesAdmitted.Add(uint64(rel.Len()))
 	return version, nil
 }
 
@@ -174,6 +249,11 @@ type QueryRequest struct {
 	// NoCache bypasses the result cache for this request (no lookup, no
 	// store); the benchmark harness uses it to measure cold latency.
 	NoCache bool `json:"noCache,omitempty"`
+	// Trace records a per-operator execution trace and returns it in the
+	// response envelope (QueryResponse.Trace; the stream trailer on
+	// /query/stream). A traced request skips the cache lookup — a cached
+	// result has no execution to trace — but still stores its result.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // QueryResponse is the body of a successful POST /query.
@@ -193,6 +273,10 @@ type QueryResponse struct {
 	ElapsedMicros int64 `json:"elapsedMicros"`
 	// Result is the output relation.
 	Result RelationJSON `json:"result"`
+	// Trace is the per-operator stats tree; only present when the request
+	// set trace (absent keys keep the untraced wire format byte-identical
+	// to previous releases).
+	Trace *obs.SpanStats `json:"trace,omitempty"`
 }
 
 // preparedQuery is the outcome of the shared request prologue: parsed and
@@ -208,8 +292,10 @@ type preparedQuery struct {
 
 // prepare runs the request prologue shared by the materializing and
 // streaming query paths: validate the request knobs, parse, push down
-// selections, snapshot the catalog, resolve the worker budget.
+// selections, snapshot the catalog, resolve the worker budget. Its
+// latency lands in the parse-phase histogram.
 func (s *Server) prepare(req QueryRequest) (*preparedQuery, error) {
+	defer func(t0 time.Time) { s.metrics.parseHist.Observe(time.Since(t0)) }(time.Now())
 	if req.Workers < 0 || req.Workers > MaxWorkers {
 		return nil, &httpError{http.StatusBadRequest,
 			fmt.Sprintf("workers %d out of range [0, %d] (0 = server default)", req.Workers, MaxWorkers)}
@@ -246,6 +332,16 @@ func (s *Server) prepare(req QueryRequest) (*preparedQuery, error) {
 // catalog versions → cache lookup → cursor-executor evaluation
 // (materialized only at the top) → cache store.
 func (s *Server) RunQuery(req QueryRequest) (*QueryResponse, error) {
+	return s.RunQueryCtx(context.Background(), req)
+}
+
+// RunQueryCtx is RunQuery with a request context: cancellation stops
+// the engine's shard producers, and a cancelled request never stores
+// its (truncated) result in the cache. With req.Trace the evaluation
+// runs under a span tree and the response carries its snapshot; a
+// traced request skips the cache lookup, since a hit would have no
+// execution to trace, but still stores the result it computes.
+func (s *Server) RunQueryCtx(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
 	pq, err := s.prepare(req)
 	if err != nil {
 		return nil, err
@@ -257,7 +353,7 @@ func (s *Server) RunQuery(req QueryRequest) (*QueryResponse, error) {
 		Complexity: query.Classify(pq.optimized).String(),
 		Inputs:     pq.versions,
 	}
-	s.queries.Add(1)
+	s.metrics.queries.Inc()
 
 	// LazyProb changes the payload (probabilities unvaluated), so it is
 	// part of the canonical key half.
@@ -268,27 +364,55 @@ func (s *Server) RunQuery(req QueryRequest) (*QueryResponse, error) {
 	key := CacheKey(keyQuery, pq.versions)
 
 	start := time.Now()
-	if !req.NoCache {
+	if !req.NoCache && !req.Trace {
 		if out, ok := s.cache.Get(key); ok {
+			elapsed := time.Since(start)
+			s.metrics.executeHist.Observe(elapsed)
 			resp.Cached = true
-			resp.ElapsedMicros = time.Since(start).Microseconds()
-			resp.Result = EncodeRelation(out, 0)
+			resp.ElapsedMicros = elapsed.Microseconds()
+			resp.Result = s.encodeTimed(out, 0)
 			return resp, nil
 		}
 	}
 
+	opts := engineOptions(req)
+	var span *obs.Span
+	if req.Trace {
+		span = obs.NewSpan("")
+		opts.Span = span
+		s.metrics.traced.Inc()
+	}
 	out, err := engine.New(engine.Config{Workers: pq.workers}).
-		EvalCursor(pq.optimized, pq.db, engineOptions(req))
+		EvalCursorCtx(ctx, pq.optimized, pq.db, opts)
 	if err != nil {
 		return nil, &httpError{http.StatusUnprocessableEntity, err.Error()}
 	}
-	s.evalCount.Add(1)
+	if err := ctx.Err(); err != nil {
+		// Cancelled mid-drain: the materialized result may be truncated.
+		// Report the cancellation and above all do not cache it.
+		return nil, &httpError{http.StatusInternalServerError, err.Error()}
+	}
+	s.metrics.evaluations.Inc()
 	if !req.NoCache {
 		s.cache.Put(key, pq.names, out)
 	}
-	resp.ElapsedMicros = time.Since(start).Microseconds()
-	resp.Result = EncodeRelation(out, 0)
+	elapsed := time.Since(start)
+	s.metrics.executeHist.Observe(elapsed)
+	resp.ElapsedMicros = elapsed.Microseconds()
+	resp.Result = s.encodeTimed(out, 0)
+	if span != nil {
+		resp.Trace = span.Snapshot()
+	}
 	return resp, nil
+}
+
+// encodeTimed encodes a result relation, charging the encode-phase
+// histogram.
+func (s *Server) encodeTimed(out *relation.Relation, version uint64) RelationJSON {
+	t0 := time.Now()
+	rj := EncodeRelation(out, version)
+	s.metrics.encodeHist.Observe(time.Since(t0))
+	return rj
 }
 
 // engineOptions maps per-request knobs onto the set-operation drivers.
@@ -308,34 +432,34 @@ func (e *httpError) Error() string { return e.msg }
 
 // --- handlers ---
 
+// buildVersion resolves the module build identity once: version and VCS
+// revision from runtime/debug.ReadBuildInfo (available since the binary
+// is built from module sources), "unknown" fields otherwise.
+var buildVersion = func() (v struct{ Version, Revision string }) {
+	v.Version, v.Revision = "unknown", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		v.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			v.Revision = s.Value
+		}
+	}
+	return v
+}()
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"relations": s.catalog.Len(),
-		"uptimeSec": int64(time.Since(s.started).Seconds()),
-	})
-}
-
-// Metrics is the body of GET /metrics.
-type Metrics struct {
-	Relations    int        `json:"relations"`
-	CatalogClock uint64     `json:"catalogClock"`
-	Queries      uint64     `json:"queries"`
-	Evaluations  uint64     `json:"evaluations"`
-	Streams      uint64     `json:"streams"`
-	Cache        CacheStats `json:"cache"`
-	UptimeSec    int64      `json:"uptimeSec"`
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, Metrics{
-		Relations:    s.catalog.Len(),
-		CatalogClock: s.catalog.Clock(),
-		Queries:      s.queries.Load(),
-		Evaluations:  s.evalCount.Load(),
-		Streams:      s.streams.Load(),
-		Cache:        s.cache.Stats(),
-		UptimeSec:    int64(time.Since(s.started).Seconds()),
+		"status":        "ok",
+		"relations":     s.catalog.Len(),
+		"uptimeSec":     int64(time.Since(s.started).Seconds()),
+		"goVersion":     runtime.Version(),
+		"buildVersion":  buildVersion.Version,
+		"buildRevision": buildVersion.Revision,
 	})
 }
 
@@ -417,12 +541,77 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, he.status, he.msg)
 		return
 	}
-	resp, err := s.RunQuery(req)
+	resp, err := s.RunQueryCtx(r.Context(), req)
 	if err != nil {
 		writeErrStatus(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// ExplainResponse is the body of POST /query/explain: the optimized
+// plan's identity plus the full per-operator trace of one evaluation —
+// no result payload. The server drains the cursor plan and discards the
+// tuples, so explaining a huge result costs no materialization or
+// encoding, on either side of the wire.
+type ExplainResponse struct {
+	Query         string         `json:"query"`
+	Complexity    string         `json:"complexity"`
+	Inputs        []RelVersion   `json:"inputs"`
+	Workers       int            `json:"workers"`
+	Tuples        int64          `json:"tuples"`
+	ElapsedMicros int64          `json:"elapsedMicros"`
+	Trace         *obs.SpanStats `json:"trace"`
+}
+
+// handleQueryExplain evaluates the query with tracing forced on and
+// returns only the plan identity and stats tree. The cache is bypassed
+// in both directions: a cached result has no execution to trace, and
+// the drained stream is never materialized, so there is nothing to
+// store.
+func (s *Server) handleQueryExplain(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if he := decodeBody(w, r, MaxQueryBodyBytes, &req); he != nil {
+		writeError(w, he.status, he.msg)
+		return
+	}
+	pq, err := s.prepare(req)
+	if err != nil {
+		writeErrStatus(w, err)
+		return
+	}
+	span := obs.NewSpan("")
+	opts := engineOptions(req)
+	opts.Span = span
+	cur, err := engine.New(engine.Config{Workers: pq.workers}).
+		CursorCtx(r.Context(), pq.optimized, pq.db, opts)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	defer cur.Close()
+	s.metrics.explains.Inc()
+	s.metrics.traced.Inc()
+
+	start := time.Now()
+	var tuples int64
+	b := core.GetBatch()
+	for cur.NextBatch(b) {
+		tuples += int64(len(b.Tuples))
+	}
+	core.PutBatch(b)
+	elapsed := time.Since(start)
+	s.metrics.executeHist.Observe(elapsed)
+
+	writeJSON(w, http.StatusOK, ExplainResponse{
+		Query:         pq.canonical,
+		Complexity:    query.Classify(pq.optimized).String(),
+		Inputs:        pq.versions,
+		Workers:       pq.workers,
+		Tuples:        tuples,
+		ElapsedMicros: elapsed.Microseconds(),
+		Trace:         span.Snapshot(),
+	})
 }
 
 // writeErrStatus writes a service-layer error, mapping httpError to its

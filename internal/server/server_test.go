@@ -213,7 +213,7 @@ func TestQueryCacheHitAndSkipReevaluation(t *testing.T) {
 	if r1.Cached {
 		t.Fatal("first run must be a miss")
 	}
-	evalsAfterCold := s.evalCount.Load()
+	evalsAfterCold := s.metrics.evaluations.Load()
 
 	// Same query, different spelling: canonicalization makes it the same
 	// cache entry; the engine must not run again.
@@ -221,7 +221,7 @@ func TestQueryCacheHitAndSkipReevaluation(t *testing.T) {
 	if !r2.Cached {
 		t.Fatal("repeat on unchanged relations must be a cache hit")
 	}
-	if s.evalCount.Load() != evalsAfterCold {
+	if s.metrics.evaluations.Load() != evalsAfterCold {
 		t.Fatal("cache hit re-evaluated the query")
 	}
 	if fmt.Sprint(r1.Result) != fmt.Sprint(r2.Result) {
@@ -325,8 +325,8 @@ func TestQueryNoCache(t *testing.T) {
 	if st.Entries != 0 || st.Hits != 0 || st.Misses != 0 {
 		t.Fatalf("NoCache touched the cache: %+v", st)
 	}
-	if s.evalCount.Load() != 2 {
-		t.Fatalf("evaluations = %d, want 2", s.evalCount.Load())
+	if s.metrics.evaluations.Load() != 2 {
+		t.Fatalf("evaluations = %d, want 2", s.metrics.evaluations.Load())
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"github.com/tpset/tpset/internal/core"
 	"github.com/tpset/tpset/internal/engine"
+	"github.com/tpset/tpset/internal/obs"
 	"github.com/tpset/tpset/internal/query"
 )
 
@@ -113,6 +114,11 @@ type StreamTrailer struct {
 	Done          bool  `json:"done"`
 	Tuples        int   `json:"tuples"`
 	ElapsedMicros int64 `json:"elapsedMicros"`
+	// Trace is the per-operator stats tree, present only when the request
+	// set trace — snapshotted after the drain, so its counts cover the
+	// whole stream. Untraced trailers are byte-identical to previous
+	// releases.
+	Trace *obs.SpanStats `json:"trace,omitempty"`
 }
 
 func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
@@ -127,19 +133,31 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	opts := engineOptions(req)
+	var span *obs.Span
+	if req.Trace {
+		span = obs.NewSpan("")
+		opts.Span = span
+		s.metrics.traced.Inc()
+	}
+	// The request context cancels the shard producers when the client
+	// disconnects mid-stream — the engine stops computing tuples nobody
+	// will read.
 	cur, err := engine.New(engine.Config{Workers: pq.workers}).
-		Cursor(pq.optimized, pq.db, engineOptions(req))
+		CursorCtx(r.Context(), pq.optimized, pq.db, opts)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
 	defer cur.Close()
-	s.streams.Add(1)
+	s.metrics.streams.Inc()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	se := getStreamEncoder(w)
+	cw := &countingWriter{w: w}
+	defer func() { s.metrics.bytesStreamed.Add(uint64(cw.n)) }()
+	se := getStreamEncoder(cw)
 	defer se.release()
 	flush := func() {
 		_ = se.bw.Flush()
@@ -186,10 +204,17 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		}
 		flush()
 	}
-	_ = se.enc.Encode(StreamTrailer{
+	elapsed := time.Since(start)
+	s.metrics.streamHist.Observe(elapsed)
+	s.metrics.tuplesStreamed.Add(uint64(count))
+	trailer := StreamTrailer{
 		Done:          true,
 		Tuples:        count,
-		ElapsedMicros: time.Since(start).Microseconds(),
-	})
+		ElapsedMicros: elapsed.Microseconds(),
+	}
+	if span != nil {
+		trailer.Trace = span.Snapshot()
+	}
+	_ = se.enc.Encode(trailer)
 	flush()
 }

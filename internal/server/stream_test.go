@@ -110,7 +110,7 @@ func TestQueryStreamMatchesQuery(t *testing.T) {
 	// A repeat still streams (never served from cache) and the metrics
 	// counter tracks it.
 	streamOnce(t, ts, QueryRequest{Query: "c - (a | b)"})
-	if got := s.streams.Load(); got != 2 {
+	if got := s.metrics.streams.Load(); got != 2 {
 		t.Fatalf("streams counter = %d, want 2", got)
 	}
 	if st := s.CacheStats(); st.Entries != 0 {

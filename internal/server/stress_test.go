@@ -98,7 +98,7 @@ func TestConcurrentQueriesAndLoadsRaceClean(t *testing.T) {
 		t.Error("repeat on quiescent catalog must be a cache hit")
 	}
 	t.Logf("cache %+v, evaluations %d, unknown-relation races %d",
-		s.CacheStats(), s.evalCount.Load(), unknownRel.Load())
+		s.CacheStats(), s.metrics.evaluations.Load(), unknownRel.Load())
 }
 
 // TestCachedResultStableAcrossConcurrentRepeats issues the same query from
