@@ -69,6 +69,7 @@ func Experiments() []Experiment {
 		{"stream-vs-materialize", "Cursor executor vs materializing evaluator: depth sweep (alloc + TTFT)", StreamVsMaterialize},
 		{"intern-vs-string", "Interned (FactID) vs string tuple keys: sort + LAWA wall time and allocations", InternVsString},
 		{"batch-vs-tuple", "Batched vs tuple-at-a-time execution: engine stream + NDJSON serve pipelines", BatchVsTuple},
+		{"soa-vs-aos", "Structure-of-arrays vs tuple-struct batches: engine stream + NDJSON serve pipelines", SoAVsAoS},
 		{"trace-overhead", "Execution-trace instrumentation overhead: drain with tracing off vs on", TraceOverhead},
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"testing"
 
+	"github.com/tpset/tpset/internal/lineage"
 	"github.com/tpset/tpset/internal/relation"
 )
 
@@ -142,6 +143,11 @@ func TestSteadyStateBatchAllocations(t *testing.T) {
 	relation.InternAll(r, s)
 	r.Sort()
 	s.Sort()
+	// Columnar projections put the drain on the SoA path: packed-fid
+	// gallops and column-aliasing scan blocks, which must be just as
+	// allocation-free as the struct path they replaced.
+	r.BuildCols()
+	s.BuildCols()
 
 	drain := func() {
 		c, err := NewOpCursor(OpExcept, NewScanCursor(r), NewScanCursor(s), Options{LazyProb: true})
@@ -164,6 +170,108 @@ func TestSteadyStateBatchAllocations(t *testing.T) {
 	// must contribute ~nothing. Without pooling/batching this is O(n).
 	if allocs > 100 {
 		t.Fatalf("steady-state batched drain: %.0f allocs per run for %d windows; want near-zero per window", allocs, n)
+	}
+}
+
+// TestSteadyStateConsReuseAcrossDrains pins that a shared lineage
+// hash-consing table turns repeated drains into pure table hits: the
+// first union drain over overlapping inputs populates the table (no
+// pair recurs within one operation), every later drain re-derives the
+// same (LamR, LamS) pairs and must resolve them without allocating a
+// single new lineage node — zero lineage-arena churn in steady state.
+func TestSteadyStateConsReuseAcrossDrains(t *testing.T) {
+	const n = 3000
+	r := sortedTestRelation("r", n, 30, 6)
+	s := sortedTestRelation("s", n, 30, 7)
+	relation.InternAll(r, s)
+	r.Sort()
+	s.Sort()
+	r.BuildCols()
+	s.BuildCols()
+
+	cons := lineage.NewCons()
+	drain := func() {
+		c, err := NewOpCursor(OpUnion, NewScanCursor(r), NewScanCursor(s),
+			Options{LazyProb: true, LineageCons: cons})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := GetBatch()
+		total := 0
+		for c.NextBatch(b) {
+			total += len(b.Tuples)
+		}
+		PutBatch(b)
+		if total == 0 {
+			t.Fatal("union over overlapping inputs must emit output")
+		}
+	}
+	drain() // populates the table
+	if cons.Size() == 0 {
+		t.Fatal("overlapping union windows must cons ∨-nodes")
+	}
+	before := cons.Hits()
+	allocs := testing.AllocsPerRun(10, drain)
+	if cons.Hits() <= before {
+		t.Fatalf("repeated drains produced no cons hits (size %d)", cons.Size())
+	}
+	if allocs > 100 {
+		t.Fatalf("consed re-drain: %.0f allocs per run; want near-zero (plan construction only)", allocs)
+	}
+}
+
+// TestBatchPoolRoundTrip pins the pool's capacity account: odd-capacity
+// batches and the zero Batch are dropped (pooling them would hand later
+// GetBatch callers undersized storage), and a full-capacity batch comes
+// back empty with its whole payload and column storage intact.
+func TestBatchPoolRoundTrip(t *testing.T) {
+	_, _, _, drops0 := BatchPoolStats()
+	PutBatch(NewBatch(7)) // odd capacity: dropped
+	PutBatch(&Batch{})    // zero Batch: dropped
+	if _, _, _, drops := BatchPoolStats(); drops != drops0+2 {
+		t.Fatalf("odd-capacity PutBatch recorded %d drops, want %d", drops-drops0, 2)
+	}
+
+	r := sortedTestRelation("r", BatchSize, 9, 8)
+	b := GetBatch()
+	if b.Cap() != BatchSize || b.Len() != 0 || b.HasCols() {
+		t.Fatalf("pooled batch: cap %d len %d cols %v", b.Cap(), b.Len(), b.HasCols())
+	}
+	for i := range r.Tuples {
+		b.Append(r.Tuples[i])
+	}
+	if !b.HasCols() || b.Len() != BatchSize {
+		t.Fatalf("full interned fill: len %d cols %v", b.Len(), b.HasCols())
+	}
+	PutBatch(b)
+
+	b2 := GetBatch()
+	defer PutBatch(b2)
+	if b2.Len() != 0 || b2.HasCols() {
+		t.Fatalf("re-pooled batch not reset: len %d cols %v", b2.Len(), b2.HasCols())
+	}
+	if cap(b2.Tuples) != BatchSize || cap(b2.Fid) != BatchSize || cap(b2.Ts) != BatchSize ||
+		cap(b2.Te) != BatchSize || cap(b2.Prob) != BatchSize || cap(b2.Lam) != BatchSize {
+		t.Fatalf("re-pooled batch lost storage: caps %d/%d/%d/%d/%d/%d",
+			cap(b2.Tuples), cap(b2.Fid), cap(b2.Ts), cap(b2.Te), cap(b2.Prob), cap(b2.Lam))
+	}
+}
+
+// TestBatchCapFallback pins Cap's zero-value contract: drained sources
+// substitute the zero Batch as an empty placeholder, and its Cap must
+// report the default size rather than zero (a zero fill target would
+// wedge every fill loop bounded by it).
+func TestBatchCapFallback(t *testing.T) {
+	if got := (&Batch{}).Cap(); got != BatchSize {
+		t.Fatalf("zero Batch Cap() = %d, want %d", got, BatchSize)
+	}
+	if got := NewBatch(5).Cap(); got != 5 {
+		t.Fatalf("NewBatch(5).Cap() = %d, want 5", got)
+	}
+	if got := GetBatch(); got.Cap() != BatchSize {
+		t.Fatalf("pooled Cap() = %d, want %d", got.Cap(), BatchSize)
+	} else {
+		PutBatch(got)
 	}
 }
 

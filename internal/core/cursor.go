@@ -34,11 +34,27 @@ type Cursor interface {
 type ScanCursor struct {
 	r *relation.Relation
 	i int
+	// noCols pins the scan to the AoS payload view: batches carry no
+	// column aliases and skips gallop over tuple structs even when the
+	// relation has a columnar projection (Options.NoSoA benchmarks).
+	noCols bool
 }
 
 // NewScanCursor returns a scan over r. Sortedness is a precondition, as
 // for NewAdvancer; relation.Relation.Sort establishes it.
 func NewScanCursor(r *relation.Relation) *ScanCursor { return &ScanCursor{r: r} }
+
+// DisableCols pins the scan to the AoS payload view (Options.NoSoA).
+func (c *ScanCursor) DisableCols() { c.noCols = true }
+
+// cols returns the relation's columnar projection unless the scan is
+// pinned to the payload view.
+func (c *ScanCursor) cols() *relation.Cols {
+	if c.noCols {
+		return nil
+	}
+	return c.r.Cols()
+}
 
 // Schema returns the scanned relation's schema.
 func (c *ScanCursor) Schema() relation.Schema { return c.r.Schema }
@@ -65,6 +81,15 @@ type OpCursor struct {
 	a      *Advancer
 	schema relation.Schema
 	opts   Options
+	// cons hash-conses the operation's lineage concatenations: windows
+	// that recombine the same operand pointers reuse one DAG node
+	// instead of allocating per window. It is Options.LineageCons —
+	// query.BuildCursor seeds one per plan that can actually share
+	// subterms (two or more set operations); nil otherwise, in which
+	// case the nil-receiver methods fall back to the plain constructors
+	// (within one operation over duplicate-free inputs no ∧/∨ pair
+	// recurs, so a table would only grow, never hit). Single-goroutine.
+	cons *lineage.Cons
 }
 
 // NewOpCursor streams op(left, right). The children must satisfy the
@@ -92,6 +117,7 @@ func NewOpCursor(op Op, left, right Cursor, opts Options) (*OpCursor, error) {
 		a:      a,
 		schema: OutSchemaOf(op, ls, rs),
 		opts:   opts,
+		cons:   opts.LineageCons,
 	}, nil
 }
 
@@ -99,11 +125,16 @@ func NewOpCursor(op Op, left, right Cursor, opts Options) (*OpCursor, error) {
 // slice-backed sources — the materializing drivers' entry point, which
 // skips the cursorSource buffering of the general path.
 func newOpCursorSorted(op Op, r, s *relation.Relation, schema relation.Schema, opts Options) *OpCursor {
-	a := NewAdvancer(r, s)
+	var a *Advancer
+	if opts.NoSoA {
+		a = newAdvancerAoS(r, s)
+	} else {
+		a = NewAdvancer(r, s)
+	}
 	if !opts.NoRunSkip {
 		a.enableSkip(op)
 	}
-	return &OpCursor{op: op, a: a, schema: schema, opts: opts}
+	return &OpCursor{op: op, a: a, schema: schema, opts: opts, cons: opts.LineageCons}
 }
 
 // Schema returns the output schema of the operation.
@@ -132,18 +163,18 @@ func (c *OpCursor) Next() (relation.Tuple, bool) {
 		}
 		var lam *lineage.Expr
 		keep := false
-		switch c.op { // λ-filter, then λ-function (Table I)
+		switch c.op { // λ-filter, then λ-function (Table I), hash-consed
 		case OpIntersect:
 			if w.LamR != nil && w.LamS != nil {
-				keep, lam = true, lineage.And(w.LamR, w.LamS)
+				keep, lam = true, c.cons.And(w.LamR, w.LamS)
 			}
 		case OpUnion:
 			if w.LamR != nil || w.LamS != nil {
-				keep, lam = true, lineage.Or(w.LamR, w.LamS)
+				keep, lam = true, c.cons.Or(w.LamR, w.LamS)
 			}
 		case OpExcept:
 			if w.LamR != nil {
-				keep, lam = true, lineage.AndNot(w.LamR, w.LamS)
+				keep, lam = true, c.cons.AndNot(w.LamR, w.LamS)
 			}
 		}
 		if !keep {

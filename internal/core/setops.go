@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"github.com/tpset/tpset/internal/lineage"
 	"github.com/tpset/tpset/internal/obs"
 	"github.com/tpset/tpset/internal/relation"
 )
@@ -45,6 +46,20 @@ type Options struct {
 	// Exists for the cross-validation suite and the batch-vs-tuple
 	// benchmark; leave it unset otherwise.
 	NoRunSkip bool
+	// NoSoA pins execution to the tuple-struct (AoS) view: leaves skip
+	// building columnar projections, scans alias no columns into their
+	// batches, and the sorted-input advancer reads keys through tuple
+	// structs — the pre-SoA execution stack. Exists for the
+	// cross-validation suite and the soa-vs-aos benchmark; leave it
+	// unset otherwise.
+	NoSoA bool
+	// LineageCons, when set, is the hash-consing table every OpCursor of
+	// the plan draws its lineage concatenations from, so shared ∧/∨/¬
+	// subterms across the plan's operators dedupe into one DAG node.
+	// query.BuildCursor seeds one per plan; the engine clears it per
+	// shard goroutine (a Cons is single-goroutine). When nil each
+	// OpCursor uses a private table.
+	LineageCons *lineage.Cons
 	// Span attaches an execution-trace node to the plan being built:
 	// query.BuildCursor labels it with the root operator, hangs one
 	// child span per sub-operator under it and wraps every cursor so
@@ -133,6 +148,13 @@ func prepare(r, s *relation.Relation, opts Options) (rr, ss *relation.Relation, 
 	}
 	rr.Sort()
 	ss.Sort()
+	if !opts.NoSoA {
+		// Project the sorted clones into columns: the advancer's window
+		// compares and run-skip gallops then run over packed int64
+		// slices, and scans alias the columns into their batches.
+		rr.BuildCols()
+		ss.BuildCols()
+	}
 	return rr, ss, nil
 }
 

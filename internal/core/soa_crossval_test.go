@@ -1,0 +1,282 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/engine"
+	"github.com/tpset/tpset/internal/interval"
+	"github.com/tpset/tpset/internal/lineage"
+	"github.com/tpset/tpset/internal/query"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// Cross-validation of the structure-of-arrays batch layout: every
+// SoA-accelerated path — columnar scan aliasing, the advancer's packed
+// key compares and fid-column gallops, Append's column maintenance, the
+// merge's BatchLess frontier compares — must produce output
+// BIT-IDENTICAL (same tuples, same lineage rendering, same
+// probabilities, same canonical order) to the AoS execution it replaced
+// (Options.NoSoA pins the pre-SoA struct-walking stack). The suite runs
+// under -race in CI, which additionally proves the aliased column
+// windows race-free against shared inputs.
+
+// soaRandomDB builds a random database; offsetFacts shifts each
+// relation's fact pool so consecutive relations overlap on only part of
+// their fact universes — long absent runs, the fid-gallop hot case.
+func soaRandomDB(rng *rand.Rand, k, maxTuples, facts int, offsetFacts bool) map[string]*relation.Relation {
+	db := make(map[string]*relation.Relation, k)
+	for ri := 0; ri < k; ri++ {
+		name := fmt.Sprintf("r%d", ri)
+		rel := relation.New(relation.NewSchema(name, "F"))
+		n := 1 + rng.Intn(maxTuples)
+		cursors := make(map[string]interval.Time)
+		base := 0
+		if offsetFacts {
+			base = ri * facts / 2
+		}
+		for i := 0; i < n; i++ {
+			f := fmt.Sprintf("f%03d", base+rng.Intn(facts))
+			ts := cursors[f] + interval.Time(rng.Intn(4))
+			te := ts + 1 + interval.Time(rng.Intn(5))
+			cursors[f] = te
+			rel.AddBase(relation.NewFact(f), fmt.Sprintf("%s_%d", name, i), ts, te, 0.05+0.9*rng.Float64())
+		}
+		rel.Sort()
+		db[name] = rel
+	}
+	return db
+}
+
+// soaRandomTree generates set-operation trees with occasional selection
+// nodes, so the selectCursor's column-maintaining Append path is under
+// test too.
+func soaRandomTree(rng *rand.Rand, names []string, leaves int) query.Node {
+	if leaves <= 1 {
+		var n query.Node = &query.Rel{Name: names[rng.Intn(len(names))]}
+		if rng.Intn(4) == 0 {
+			n = &query.Select{Input: n, Attr: "F", Value: fmt.Sprintf("f%03d", rng.Intn(24))}
+		}
+		return n
+	}
+	l := 1 + rng.Intn(leaves-1)
+	return &query.SetOp{
+		Op:    core.Op(rng.Intn(3)),
+		Left:  soaRandomTree(rng, names, l),
+		Right: soaRandomTree(rng, names, leaves-l),
+	}
+}
+
+// drainCap materializes a batched cursor at the given batch capacity,
+// additionally checking per-block column coherence: whenever a block
+// carries columns, every column row must mirror the payload row exactly
+// (same interned key, interval, probability and lineage pointer).
+func drainCap(t *testing.T, ctx string, c core.Cursor, capacity int) *relation.Relation {
+	t.Helper()
+	bc, ok := c.(core.BatchCursor)
+	if !ok {
+		t.Fatalf("%s: cursor %T is not batch-capable", ctx, c)
+	}
+	out := relation.New(c.Schema())
+	b := core.NewBatch(capacity)
+	for bc.NextBatch(b) {
+		if len(b.Tuples) == 0 || len(b.Tuples) > capacity {
+			t.Fatalf("%s: NextBatch produced %d tuples into a capacity-%d batch", ctx, len(b.Tuples), capacity)
+		}
+		requireColsMirrorRows(t, ctx, b)
+		out.Tuples = append(out.Tuples, b.Tuples...)
+	}
+	if bc.NextBatch(b) {
+		t.Fatalf("%s: NextBatch true after exhaustion", ctx)
+	}
+	out.AdoptBinding()
+	return out
+}
+
+// requireColsMirrorRows checks the SoA view invariant on one block:
+// Dict non-nil implies every column is row-aligned with Tuples and
+// mirrors it field for field.
+func requireColsMirrorRows(t *testing.T, ctx string, b *core.Batch) {
+	t.Helper()
+	if !b.HasCols() {
+		if len(b.Fid) != 0 || len(b.Ts) != 0 || len(b.Te) != 0 || len(b.Prob) != 0 || len(b.Lam) != 0 {
+			t.Fatalf("%s: column slices non-empty on a batch without a dictionary", ctx)
+		}
+		return
+	}
+	n := len(b.Tuples)
+	if len(b.Fid) != n || len(b.Ts) != n || len(b.Te) != n || len(b.Prob) != n || len(b.Lam) != n {
+		t.Fatalf("%s: column lengths (%d,%d,%d,%d,%d) misaligned with %d payload rows",
+			ctx, len(b.Fid), len(b.Ts), len(b.Te), len(b.Prob), len(b.Lam), n)
+	}
+	for i := 0; i < n; i++ {
+		tp := &b.Tuples[i]
+		if k := relation.KeyIn(b.Dict, b.Fid[i]); !k.Equal(tp.FactKeyRO()) {
+			t.Fatalf("%s: row %d: fid column %d decodes to %s, payload key %s",
+				ctx, i, b.Fid[i], k, tp.FactKeyRO())
+		}
+		if b.Ts[i] != tp.T.Ts || b.Te[i] != tp.T.Te {
+			t.Fatalf("%s: row %d: interval column [%d,%d), payload %v", ctx, i, b.Ts[i], b.Te[i], tp.T)
+		}
+		if b.Prob[i] != tp.Prob {
+			t.Fatalf("%s: row %d: prob column %v, payload %v", ctx, i, b.Prob[i], tp.Prob)
+		}
+		if b.Lam[i] != tp.Lineage {
+			t.Fatalf("%s: row %d: lineage column pointer differs from payload", ctx, i)
+		}
+	}
+}
+
+// requireSameStreams asserts bit-identity of two materialized streams.
+func requireSameStreams(t *testing.T, ctx string, got, want *relation.Relation) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: cardinality %d, want %d", ctx, got.Len(), want.Len())
+	}
+	for i := range want.Tuples {
+		g, w := &got.Tuples[i], &want.Tuples[i]
+		if !g.Fact.Equal(w.Fact) || g.T != w.T ||
+			g.Lineage.String() != w.Lineage.String() || g.Prob != w.Prob {
+			t.Fatalf("%s: tuple %d: got %s, want %s", ctx, i, g, w)
+		}
+	}
+}
+
+// TestSoAExecutionBitIdentical is the main sweep: random query trees
+// (with selections) over partially fact-disjoint inputs, compared
+// between the AoS-pinned reference and the columnar stack across batch
+// capacities 1/2/1024, run-skipping on and off, and the engine's
+// partitioned streams at Workers 1/2/8.
+func TestSoAExecutionBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 80; trial++ {
+		db := soaRandomDB(rng, 2+rng.Intn(3), 120, 24, trial%2 == 0)
+		if trial%3 != 0 {
+			// Most trials intern everything into one shared dictionary —
+			// the hot columnar configuration; every third trial stays
+			// string-keyed to keep the column-less fallback under test.
+			rels := make([]*relation.Relation, 0, len(db))
+			for _, r := range db {
+				rels = append(rels, r)
+			}
+			relation.InternAll(rels...)
+			for _, r := range rels {
+				r.Sort()
+			}
+		}
+		names := query.DBKeys(db)
+		tree := soaRandomTree(rng, names, 1+rng.Intn(4))
+		ctx := func(s string) string { return fmt.Sprintf("trial %d (%s): %s", trial, tree, s) }
+
+		// Reference: the AoS-pinned tuple-at-a-time stack — no columns
+		// anywhere, struct-walking advancer, no run-skipping.
+		want, err := query.EvaluateCursor(tree, db, core.Options{NoSoA: true, NoBatch: true, NoRunSkip: true})
+		if err != nil {
+			t.Fatalf("%s: %v", ctx("reference"), err)
+		}
+
+		for _, capacity := range []int{1, 2, core.BatchSize} {
+			for _, noSkip := range []bool{false, true} {
+				for _, noSoA := range []bool{false, true} {
+					opts := core.Options{NoRunSkip: noSkip, NoSoA: noSoA}
+					c, err := query.BuildCursor(tree, db, opts)
+					if err != nil {
+						t.Fatalf("%s: %v", ctx("build"), err)
+					}
+					label := ctx(fmt.Sprintf("cap=%d noskip=%v nosoa=%v", capacity, noSkip, noSoA))
+					got := drainCap(t, label, c, capacity)
+					requireSameStreams(t, label, got, want)
+				}
+			}
+		}
+
+		// Engine paths: the partitioned batched streams build columns on
+		// each sorted shard partition (MinColsRows forced to 1 so the
+		// small trial inputs still take the columnar path); NoSoA pins
+		// the shard plans to AoS.
+		for _, w := range []int{1, 2, 8} {
+			e := engine.New(engine.Config{Workers: w, MinPartitionSize: 8, MinColsRows: 1})
+			for _, noSoA := range []bool{false, true} {
+				got, err := e.EvalCursor(tree, db, core.Options{NoSoA: noSoA})
+				if err != nil {
+					t.Fatalf("%s: %v", ctx(fmt.Sprintf("engine w=%d nosoa=%v", w, noSoA)), err)
+				}
+				requireSameStreams(t, ctx(fmt.Sprintf("engine w=%d nosoa=%v", w, noSoA)), got, want)
+			}
+		}
+	}
+}
+
+// TestSoAScanBatchesAliasColumns pins the zero-copy contract of the
+// columnar scan: blocks alias both the relation's tuple storage and its
+// column projection, and the coherence invariant holds on every block.
+func TestSoAScanBatchesAliasColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	db := soaRandomDB(rng, 1, 3000, 40, false)
+	r := db["r0"]
+	r.Intern()
+	r.Sort()
+	r.BuildCols()
+	cols := r.Cols()
+	if cols == nil {
+		t.Fatal("BuildCols on an interned relation must produce a projection")
+	}
+
+	c := core.NewScanCursor(r)
+	b := core.GetBatch()
+	defer core.PutBatch(b)
+	seen := 0
+	for c.NextBatch(b) {
+		if !b.HasCols() {
+			t.Fatalf("scan block at offset %d carries no columns", seen)
+		}
+		if &b.Tuples[0] != &r.Tuples[seen] || &b.Fid[0] != &cols.Fid[seen] {
+			t.Fatalf("block at offset %d does not alias relation storage and projection", seen)
+		}
+		requireColsMirrorRows(t, fmt.Sprintf("offset %d", seen), b)
+		seen += len(b.Tuples)
+	}
+	if seen != r.Len() {
+		t.Fatalf("blocks covered %d tuples, want %d", seen, r.Len())
+	}
+}
+
+// TestSoAPlanSharesLineageCons pins the plan-wide hash-consing contract:
+// a tree whose two operations recombine identical lineage pairs must
+// dedupe them through the one plan table — the second operation's
+// concatenations all hit — while single-operation plans run consless by
+// design (within one operation over duplicate-free inputs no pair
+// recurs, so a table would only grow).
+func TestSoAPlanSharesLineageCons(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	db := soaRandomDB(rng, 2, 400, 12, false)
+	relation.InternAll(db["r0"], db["r1"])
+	for _, r := range db {
+		r.Sort()
+	}
+
+	// Two structurally identical intersections under a union: both
+	// children derive And(lamR, lamS) over the same operand pointers, so
+	// the shared table must collapse them into one DAG node each.
+	tree := query.MustParse("(r0 & r1) | (r0 & r1)")
+	cons := lineage.NewCons()
+	out, err := query.EvaluateCursor(tree, db, core.Options{AssumeSorted: true, LineageCons: cons})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("overlapping inputs must intersect")
+	}
+	if cons.Hits() == 0 {
+		t.Fatalf("duplicate subtrees produced no cons hits (table size %d)", cons.Size())
+	}
+
+	// The deduped plan must still be bit-identical to the consless one.
+	want, err := query.EvaluateCursor(tree, db, core.Options{AssumeSorted: true, NoSoA: true, NoBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameStreams(t, "consed vs consless", out, want)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/tpset/tpset/internal/interval"
+	"github.com/tpset/tpset/internal/keys"
 	"github.com/tpset/tpset/internal/lineage"
 	"github.com/tpset/tpset/internal/relation"
 )
@@ -50,21 +51,45 @@ func (w Window) String() string {
 // consumes it. The pointer peek returns may be invalidated by pop, so
 // callers that need the tuple beyond the next pop must copy it. The
 // peeked tuple may alias storage shared with concurrent readers, so
-// callers must not mutate it — keys are read through FactKeyRO.
+// callers must not mutate it — keys are read through peekKey/FactKeyRO.
+//
+// peekKey returns the comparison key of the peeked tuple and is only
+// valid when peek() is non-nil. Columnar sources derive it from the
+// packed fid column (one int64 load plus an O(1) dictionary index —
+// never a struct walk or a key-string rebuild); the others fall back to
+// FactKeyRO. The advancer reads every key through it, so the window
+// compares of Algorithm 1 run branch-light on the SoA path and
+// unchanged on the fallback.
 //
 // skipTo advances the source so that peek returns the first tuple whose
 // fact key is >= k; it is the run-skipping entry point and only called
 // when every tuple below k is known to be filtered out by the operation.
 type tupleSource interface {
 	peek() *relation.Tuple
+	peekKey() relation.FactKey
 	pop()
 	skipTo(k relation.FactKey)
 }
 
-// sliceSource streams a sorted tuple slice.
+// sliceSource streams a sorted tuple slice, with an optional columnar
+// fast path: when the backing relation carries a columnar projection,
+// fid/dict alias its id column and keys and gallops run on packed
+// integers.
 type sliceSource struct {
-	ts []relation.Tuple
-	i  int
+	ts   []relation.Tuple
+	fid  []int64
+	dict *keys.Dict
+	i    int
+}
+
+// newSliceSource builds a source over r's tuples, picking up the
+// columnar projection when one is valid.
+func newSliceSource(r *relation.Relation) *sliceSource {
+	s := &sliceSource{ts: r.Tuples}
+	if c := r.Cols(); c != nil {
+		s.fid, s.dict = c.Fid, r.Dict()
+	}
+	return s
 }
 
 func (s *sliceSource) peek() *relation.Tuple {
@@ -74,17 +99,36 @@ func (s *sliceSource) peek() *relation.Tuple {
 	return nil
 }
 
+func (s *sliceSource) peekKey() relation.FactKey {
+	if s.dict != nil {
+		return relation.KeyIn(s.dict, s.fid[s.i])
+	}
+	return s.ts[s.i].FactKeyRO()
+}
+
 func (s *sliceSource) pop() { s.i++ }
 
-// skipTo gallops over the slice (shared with ScanCursor.SkipTo).
+// skipTo gallops over the fid column when the target is interned
+// against the source's dictionary, and over the tuple slice otherwise
+// (shared with ScanCursor.SkipTo).
 func (s *sliceSource) skipTo(k relation.FactKey) {
+	if s.dict != nil {
+		if id, ok := k.IDIn(s.dict); ok {
+			s.i += relation.SkipToFid(s.fid[s.i:], id)
+			return
+		}
+	}
 	s.i += relation.SkipToKey(s.ts[s.i:], k)
 }
 
-// cursorSource streams a Cursor through a one-tuple buffer.
+// cursorSource streams a Cursor through a one-tuple buffer. The key of
+// the buffered tuple is computed once per tuple and cached until pop —
+// the advancer reads it up to three times per window.
 type cursorSource struct {
 	c         Cursor
 	buf       relation.Tuple
+	key       relation.FactKey
+	keyed     bool
 	has, done bool
 }
 
@@ -95,7 +139,7 @@ func (s *cursorSource) peek() *relation.Tuple {
 			s.done = true
 			return nil
 		}
-		s.buf, s.has = t, true
+		s.buf, s.has, s.keyed = t, true, false
 	}
 	if !s.has {
 		return nil
@@ -103,14 +147,20 @@ func (s *cursorSource) peek() *relation.Tuple {
 	return &s.buf
 }
 
-func (s *cursorSource) pop() { s.has = false }
+func (s *cursorSource) peekKey() relation.FactKey {
+	if !s.keyed {
+		s.key, s.keyed = s.buf.FactKeyRO(), true
+	}
+	return s.key
+}
+
+func (s *cursorSource) pop() { s.has, s.keyed = false, false }
 
 // skipTo on a plain cursor can only pop tuple-by-tuple — the child
 // stream is computed, so there is nothing to gallop over.
 func (s *cursorSource) skipTo(k relation.FactKey) {
 	for {
-		t := s.peek()
-		if t == nil || !t.FactKeyRO().Less(k) {
+		if s.peek() == nil || !s.peekKey().Less(k) {
 			return
 		}
 		s.pop()
@@ -150,17 +200,34 @@ func (s *batchSource) peek() *relation.Tuple {
 	}
 }
 
+func (s *batchSource) peekKey() relation.FactKey {
+	if s.b.Dict != nil {
+		return relation.KeyIn(s.b.Dict, s.b.Fid[s.i])
+	}
+	return s.b.Tuples[s.i].FactKeyRO()
+}
+
 func (s *batchSource) pop() { s.i++ }
 
-// skipTo discards the remainder of the current batch by binary search,
-// then — when the target is beyond it — delegates to the child's
-// galloping SkipTo (scans, filters) or discards whole batches when the
-// child's output is computed (operator cursors): a batch discard is one
-// comparison against the batch tail, so even the fallback advances in
+// skipTo discards the remainder of the current batch by binary search —
+// a packed-int64 gallop when the batch carries columns — then, when the
+// target is beyond it, delegates to the child's galloping SkipTo
+// (scans, filters) or discards whole batches when the child's output is
+// computed (operator cursors): a batch discard is one comparison
+// against the batch tail, so even the fallback advances in
 // O(n/BatchSize) comparisons instead of O(n) pops.
 func (s *batchSource) skipTo(k relation.FactKey) {
 	for {
-		s.i += relation.SkipToKey(s.b.Tuples[s.i:], k)
+		skipped := false
+		if s.b.Dict != nil {
+			if id, ok := k.IDIn(s.b.Dict); ok {
+				s.i += relation.SkipToFid(s.b.Fid[s.i:], id)
+				skipped = true
+			}
+		}
+		if !skipped {
+			s.i += relation.SkipToKey(s.b.Tuples[s.i:], k)
+		}
 		if s.i < len(s.b.Tuples) || s.done {
 			return
 		}
@@ -235,8 +302,17 @@ func (a *Advancer) Gallops() int64 { return a.gallops }
 
 // NewAdvancer returns an advancer over two relations that must already be
 // sorted by (fact, Ts) — the sort step of Fig. 5. Sortedness is a
-// precondition; relation.Relation.Sort establishes it.
+// precondition; relation.Relation.Sort establishes it. When the inputs
+// carry columnar projections (Relation.BuildCols), keys and run-skip
+// gallops run over the packed fid columns.
 func NewAdvancer(r, s *relation.Relation) *Advancer {
+	return &Advancer{r: newSliceSource(r), s: newSliceSource(s), prevWinTe: -1}
+}
+
+// newAdvancerAoS is NewAdvancer pinned to the tuple-struct view — the
+// pre-SoA execution stack, kept selectable (Options.NoSoA) for the
+// soa-vs-aos benchmark and the cross-validation suite.
+func newAdvancerAoS(r, s *relation.Relation) *Advancer {
 	return &Advancer{r: &sliceSource{ts: r.Tuples}, s: &sliceSource{ts: s.Tuples}, prevWinTe: -1}
 }
 
@@ -307,12 +383,12 @@ func (a *Advancer) Next() (Window, bool) {
 			return Window{}, false
 		case s == nil:
 			winTs = r.T.Ts
-			a.setFact(r)
+			a.setFact(r, a.r.peekKey())
 		case r == nil:
 			winTs = s.T.Ts
-			a.setFact(s)
+			a.setFact(s, a.s.peekKey())
 		default:
-			rKey, sKey := r.FactKeyRO(), s.FactKeyRO()
+			rKey, sKey := a.r.peekKey(), a.s.peekKey()
 			rSame, sSame := rKey.Equal(a.currKey), sKey.Equal(a.currKey)
 			switch {
 			case rSame && !sSame:
@@ -327,13 +403,13 @@ func (a *Advancer) Next() (Window, bool) {
 				switch {
 				case rKey.Less(sKey):
 					winTs = r.T.Ts
-					a.setFact(r)
+					a.setFact(r, rKey)
 				case sKey.Less(rKey):
 					winTs = s.T.Ts
-					a.setFact(s)
+					a.setFact(s, sKey)
 				default:
 					winTs = interval.Min(r.T.Ts, s.T.Ts)
-					a.setFact(r)
+					a.setFact(r, rKey)
 				}
 			}
 		}
@@ -346,13 +422,13 @@ func (a *Advancer) Next() (Window, bool) {
 	// Admit upcoming tuples that become valid exactly at winTs. The tuple
 	// is copied out of the source's lookahead buffer: it must stay valid
 	// after the pop, which may overwrite the buffer on the next peek.
-	if r != nil && r.FactKeyRO().Equal(a.currKey) && r.T.Ts == winTs {
+	if r != nil && a.r.peekKey().Equal(a.currKey) && r.T.Ts == winTs {
 		a.rValidBuf = *r
 		a.rValid = &a.rValidBuf
 		a.r.pop()
 		r = a.r.peek()
 	}
-	if s != nil && s.FactKeyRO().Equal(a.currKey) && s.T.Ts == winTs {
+	if s != nil && a.s.peekKey().Equal(a.currKey) && s.T.Ts == winTs {
 		a.sValidBuf = *s
 		a.sValid = &a.sValidBuf
 		a.s.pop()
@@ -369,10 +445,10 @@ func (a *Advancer) Next() (Window, bool) {
 	if a.sValid != nil {
 		winTe = interval.Min(winTe, a.sValid.T.Te)
 	}
-	if r != nil && r.FactKeyRO().Equal(a.currKey) {
+	if r != nil && a.r.peekKey().Equal(a.currKey) {
 		winTe = interval.Min(winTe, r.T.Ts)
 	}
-	if s != nil && s.FactKeyRO().Equal(a.currKey) {
+	if s != nil && a.s.peekKey().Equal(a.currKey) {
 		winTe = interval.Min(winTe, s.T.Ts)
 	}
 
@@ -412,7 +488,7 @@ func (a *Advancer) skipRuns() {
 		if r == nil || s == nil {
 			return
 		}
-		rk, sk := r.FactKeyRO(), s.FactKeyRO()
+		rk, sk := a.r.peekKey(), a.s.peekKey()
 		switch {
 		case rk.Less(sk):
 			if !a.skipR {
@@ -432,7 +508,9 @@ func (a *Advancer) skipRuns() {
 	}
 }
 
-func (a *Advancer) setFact(t *relation.Tuple) {
-	a.currKey = t.FactKeyRO()
+// setFact opens a new fact group from the peeked tuple t, whose key k
+// the caller already read through peekKey.
+func (a *Advancer) setFact(t *relation.Tuple, k relation.FactKey) {
+	a.currKey = k
 	a.currFactV = t.Fact
 }

@@ -138,7 +138,7 @@ func TestBatchedExecutionBitIdentical(t *testing.T) {
 
 		// Engine paths: batched shard channels vs tuple channels.
 		for _, w := range []int{1, 2, 8} {
-			e := New(Config{Workers: w, MinPartitionSize: 8})
+			e := New(Config{Workers: w, MinPartitionSize: 8, MinColsRows: 1})
 			got, err = e.EvalCursor(tree, db, core.Options{})
 			if err != nil {
 				t.Fatalf("%s: %v", ctx(fmt.Sprintf("engine batched w=%d", w)), err)
@@ -168,7 +168,7 @@ func TestBatchedInterleavedPulls(t *testing.T) {
 		}
 
 		for _, w := range []int{1, 2} {
-			cur, err := New(Config{Workers: w, MinPartitionSize: 8}).Cursor(tree, db, core.Options{})
+			cur, err := New(Config{Workers: w, MinPartitionSize: 8, MinColsRows: 1}).Cursor(tree, db, core.Options{})
 			if err != nil {
 				t.Fatalf("trial %d: %v", trial, err)
 			}
@@ -205,7 +205,7 @@ func TestBatchedEarlyClose(t *testing.T) {
 		names := query.DBKeys(db)
 		tree := batchRandomTree(rng, names, 3)
 		for _, w := range []int{1, 2, 8} {
-			cur, err := New(Config{Workers: w, MinPartitionSize: 8}).Cursor(tree, db, core.Options{})
+			cur, err := New(Config{Workers: w, MinPartitionSize: 8, MinColsRows: 1}).Cursor(tree, db, core.Options{})
 			if err != nil {
 				t.Fatalf("trial %d: %v", trial, err)
 			}
@@ -246,7 +246,7 @@ func TestBatchedEmptyInputs(t *testing.T) {
 		requireIdenticalStreams(t, q, got, want)
 
 		for _, w := range []int{1, 4} {
-			got, err := New(Config{Workers: w, MinPartitionSize: 1}).EvalCursor(tree, db, core.Options{})
+			got, err := New(Config{Workers: w, MinPartitionSize: 1, MinColsRows: 1}).EvalCursor(tree, db, core.Options{})
 			if err != nil {
 				t.Fatalf("%s w=%d: %v", q, w, err)
 			}

@@ -20,6 +20,17 @@ const DefaultMinPartitionSize = 2048
 // heavy shard is compensated by others draining the light ones.
 const shardsPerWorker = 4
 
+// DefaultMinColsRows is the smallest shard partition worth projecting
+// into columns. The projection is an O(rows) pass allocating five
+// arrays per partition per query; its payoff — packed int64 compares
+// touching one cache line per eight tuples instead of a ~100-byte
+// struct stride — only materializes once the partition outgrows the
+// cache levels that make the struct walk free. Below the threshold the
+// shard sweeps run on the AoS view (interned compares are integer
+// compares either way), and operator output batches still come out
+// columnar for the encoder's read side, so serving loses nothing.
+const DefaultMinColsRows = 16 << 10
+
 // Config tunes the engine.
 type Config struct {
 	// Workers bounds the number of concurrently executing shard tasks.
@@ -30,6 +41,11 @@ type Config struct {
 	// sequential path when the input cannot fill two shards. Values below
 	// one select DefaultMinPartitionSize.
 	MinPartitionSize int
+	// MinColsRows is the minimum partition size worth the columnar
+	// projection pass; smaller partitions sweep on the AoS view. Values
+	// below one select DefaultMinColsRows (tests force 1 to pin the
+	// columnar shard path on small inputs).
+	MinColsRows int
 }
 
 func (c Config) workers() int {
@@ -44,6 +60,13 @@ func (c Config) minPartitionSize() int {
 		return c.MinPartitionSize
 	}
 	return DefaultMinPartitionSize
+}
+
+func (c Config) minColsRows() int {
+	if c.MinColsRows > 0 {
+		return c.MinColsRows
+	}
+	return DefaultMinColsRows
 }
 
 // Engine executes TP set operations and query trees with partition
@@ -128,8 +151,25 @@ func (e *Engine) Apply(op core.Op, r, s *relation.Relation, opts core.Options) (
 				rp.Sort()
 				sp.Sort()
 			}
+			if !opts.NoSoA {
+				// The partitions are engine-private and sorted; project
+				// them into columns so the shard sweep runs on packed
+				// int64 compares (prepare skips this under AssumeSorted).
+				// Partitions below the amortization threshold sweep on
+				// the AoS view instead — the projection pass would cost
+				// more than the compares it accelerates.
+				if rp.Len() >= e.cfg.minColsRows() {
+					rp.BuildCols()
+				}
+				if sp.Len() >= e.cfg.minColsRows() {
+					sp.BuildCols()
+				}
+			}
 			shardOpts := opts
 			shardOpts.AssumeSorted = true
+			// A lineage.Cons is single-goroutine; shard sweeps run
+			// concurrently, so none is shared across them.
+			shardOpts.LineageCons = nil
 			outs[i], errs[i] = core.Apply(op, rp, sp, shardOpts)
 		}(i, rp, sp)
 	}

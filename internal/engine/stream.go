@@ -220,6 +220,9 @@ func (e *Engine) CursorCtx(ctx context.Context, n query.Node, db map[string]*rel
 	shardSpans := make([]*obs.Span, shards)
 	for i := range curs {
 		shardOpts := opts
+		// A lineage.Cons is single-goroutine; shard plans run concurrently,
+		// so each gets its own (BuildCursor seeds one when the field is nil).
+		shardOpts.LineageCons = nil
 		if rootSp != nil {
 			shardSpans[i] = rootSp.NewChild("")
 			shardOpts.Span = shardSpans[i]
@@ -330,6 +333,18 @@ func (e *Engine) CursorCtx(ctx context.Context, n query.Node, db map[string]*rel
 				// sorted.
 				for _, part := range sdb {
 					part.Sort()
+				}
+			}
+			if !opts.NoSoA {
+				// Project the shard's private partitions into columns on
+				// the shard's own goroutine, before the first pull: leaf
+				// scans then alias packed columns into their batches.
+				// Partitions below the amortization threshold sweep on
+				// the AoS view — see DefaultMinColsRows.
+				for _, part := range sdb {
+					if part.Len() >= e.cfg.minColsRows() {
+						part.BuildCols()
+					}
 				}
 			}
 			// The first block is deliberately small: the downstream
@@ -529,13 +544,14 @@ func (m *mergeBatchStream) nextBatch(out *core.Batch) bool {
 	max := out.Cap() // not cap(out.Tuples): honor the fill-target contract for zero batches
 	for len(out.Tuples) < max && len(m.chans) > 0 {
 		if len(m.chans) == 1 {
-			// Single live lane: bulk-copy its block remainder.
+			// Single live lane: bulk-copy its block remainder, columns
+			// included when the blocks share a dictionary.
 			b, i := m.bs[0], m.is[0]
 			n := len(b.Tuples) - i
 			if room := max - len(out.Tuples); n > room {
 				n = room
 			}
-			out.Tuples = append(out.Tuples, b.Tuples[i:i+n]...)
+			out.AppendRange(b, i, i+n)
 			m.is[0] = i + n
 			if m.is[0] == len(b.Tuples) {
 				m.advance(0)
@@ -543,15 +559,13 @@ func (m *mergeBatchStream) nextBatch(out *core.Batch) bool {
 			continue
 		}
 		best := 0
-		bt := &m.bs[0].Tuples[m.is[0]]
 		for i := 1; i < len(m.chans); i++ {
-			if t := &m.bs[i].Tuples[m.is[i]]; relation.Less(t, bt) {
-				best, bt = i, t
+			if core.BatchLess(m.bs[i], m.is[i], m.bs[best], m.is[best]) {
+				best = i
 			}
 		}
-		out.Tuples = append(out.Tuples, *bt)
-		m.is[best]++
-		if m.is[best] == len(m.bs[best].Tuples) {
+		out.AppendRange(m.bs[best], m.is[best], m.is[best]+1)
+		if m.is[best]++; m.is[best] == len(m.bs[best].Tuples) {
 			m.advance(best)
 		}
 	}

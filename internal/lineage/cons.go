@@ -1,0 +1,136 @@
+package lineage
+
+// Cons is a hash-consing table over the lineage DAG: And/Or/Not/AndNot
+// mirror the package-level concatenation functions of Table I, but
+// identical applications — same operand pointers, same connective —
+// return the same *Expr node instead of allocating a fresh one. Because
+// Expr is immutable and the constructors are deterministic, the consed
+// node is indistinguishable from a fresh one (same rendering, same
+// canonical form, same probability), so consed and unconsed plans stay
+// bit-identical; what changes is that the shared ∧/∨/¬ subterms a
+// stacked query re-derives — e.g. the same pair of valid-tuple lineages
+// recombined window after window, or ¬λs re-built under two difference
+// operators over one input — dedupe into one DAG node.
+//
+// Keys are operand *pointers*, not structural hashes: the execution
+// stack already shares subterm pointers (relations clone tuple structs
+// but share lineage trees; windows carry the valid tuples' pointers),
+// so pointer identity is exactly the sharing the sweep produces, and a
+// lookup is one map probe with no tree walk.
+//
+// A Cons is NOT safe for concurrent use. The intended scope is one
+// table per single-goroutine cursor plan (core.Options.LineageCons;
+// query.BuildCursor seeds one per plan, the engine one per shard), so
+// no locking is needed and the table's lifetime — and growth — is
+// bounded by one query execution. A nil *Cons is valid and falls back
+// to the plain constructors, allocating as before.
+type Cons struct {
+	nots map[*Expr]*Expr
+	bins map[binKey]*Expr
+	hits uint64
+}
+
+// binKey identifies one application of a binary connective.
+type binKey struct {
+	kind Kind
+	l, r *Expr
+}
+
+// NewCons returns an empty hash-consing table; maps are allocated
+// lazily on first insert.
+func NewCons() *Cons { return &Cons{} }
+
+// Hits returns the number of lookups that returned an existing node —
+// the dedup rate the steady-state allocation tests pin.
+func (c *Cons) Hits() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.hits
+}
+
+// Size returns the number of consed nodes in the table.
+func (c *Cons) Size() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.nots) + len(c.bins)
+}
+
+func (c *Cons) binary(kind Kind, l, r *Expr) *Expr {
+	k := binKey{kind: kind, l: l, r: r}
+	if e, ok := c.bins[k]; ok {
+		c.hits++
+		return e
+	}
+	e := binary(kind, l, r)
+	if c.bins == nil {
+		c.bins = make(map[binKey]*Expr, 16)
+	}
+	c.bins[k] = e
+	return e
+}
+
+// And is the consed form of And.
+func (c *Cons) And(l, r *Expr) *Expr {
+	if c == nil {
+		return And(l, r)
+	}
+	if l == nil || r == nil {
+		panic("lineage: And with nil operand")
+	}
+	return c.binary(KindAnd, l, r)
+}
+
+// Or is the consed form of Or; the single-operand short-circuits of
+// Table I return the operand itself, exactly like the plain function.
+func (c *Cons) Or(l, r *Expr) *Expr {
+	if c == nil {
+		return Or(l, r)
+	}
+	switch {
+	case l == nil && r == nil:
+		panic("lineage: Or(nil, nil)")
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	}
+	return c.binary(KindOr, l, r)
+}
+
+// Not is the consed form of Not.
+func (c *Cons) Not(e *Expr) *Expr {
+	if c == nil {
+		return Not(e)
+	}
+	if e == nil {
+		panic("lineage: Not(nil)")
+	}
+	if x, ok := c.nots[e]; ok {
+		c.hits++
+		return x
+	}
+	x := Not(e)
+	if c.nots == nil {
+		c.nots = make(map[*Expr]*Expr, 16)
+	}
+	c.nots[e] = x
+	return x
+}
+
+// AndNot is the consed form of AndNot: l when r is null, and
+// l ∧ ¬r otherwise — with both the negation and the conjunction drawn
+// from the table, so andNot over a repeated pair allocates nothing.
+func (c *Cons) AndNot(l, r *Expr) *Expr {
+	if c == nil {
+		return AndNot(l, r)
+	}
+	if l == nil {
+		panic("lineage: AndNot with nil left operand")
+	}
+	if r == nil {
+		return l
+	}
+	return c.binary(KindAnd, l, c.Not(r))
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/lineage"
 	"github.com/tpset/tpset/internal/relation"
 )
 
@@ -32,6 +33,18 @@ import (
 // stats (core.Traced). The traced plan's output is bit-identical to the
 // untraced one. With a nil Span no wrapper exists anywhere in the tree.
 func BuildCursor(n Node, db map[string]*relation.Relation, opts core.Options) (core.Cursor, error) {
+	if opts.LineageCons == nil && countSetOps(n) > 1 {
+		// One hash-consing table per plan: every OpCursor of the tree
+		// draws its lineage concatenations from it, so subterms shared
+		// across operators — stacked operations recombining one input's
+		// lineages, repeated subtrees — dedupe into one DAG node. A
+		// single-operation plan deliberately gets none: within one
+		// operation over duplicate-free inputs no concatenation recurs,
+		// so the table would grow per window and never hit. opts is
+		// passed by value, so the seeded table flows down the recursion
+		// but never escapes to the caller.
+		opts.LineageCons = lineage.NewCons()
+	}
 	sp := opts.Span
 	switch q := n.(type) {
 	case *Rel:
@@ -48,11 +61,22 @@ func BuildCursor(n Node, db map[string]*relation.Relation, opts core.Options) (c
 		if !opts.AssumeSorted {
 			r = r.Clone()
 			r.Sort()
+			if !opts.NoSoA {
+				// The clone is plan-private and sorted: project it into
+				// columns so the scan aliases packed columns into its
+				// batches (AssumeSorted leaves are the caller's — catalog
+				// admission builds their columns once at bind time).
+				r.BuildCols()
+			}
 		}
 		if sp != nil {
 			sp.SetOp("scan(" + q.Name + ")")
 		}
-		return core.Traced(core.NewScanCursor(r), sp), nil
+		sc := core.NewScanCursor(r)
+		if opts.NoSoA {
+			sc.DisableCols()
+		}
+		return core.Traced(sc, sp), nil
 	case *Select:
 		childOpts := opts
 		if sp != nil {
@@ -77,7 +101,7 @@ func BuildCursor(n Node, db map[string]*relation.Relation, opts core.Options) (c
 		if sp != nil {
 			sp.SetOp(fmt.Sprintf("σ[%s=%s]", q.Attr, q.Value))
 		}
-		return core.Traced(&selectCursor{in: in, idx: idx, value: q.Value}, sp), nil
+		return core.Traced(&selectCursor{in: in, idx: idx, value: q.Value, noCols: opts.NoSoA}, sp), nil
 	case *SetOp:
 		lOpts, rOpts := opts, opts
 		if sp != nil {
@@ -104,6 +128,18 @@ func BuildCursor(n Node, db map[string]*relation.Relation, opts core.Options) (c
 	return nil, fmt.Errorf("query: unknown node type %T", n)
 }
 
+// countSetOps counts the set-operation nodes of a query tree — the
+// seeding condition for the plan-wide lineage hash-consing table.
+func countSetOps(n Node) int {
+	switch q := n.(type) {
+	case *Select:
+		return countSetOps(q.Input)
+	case *SetOp:
+		return 1 + countSetOps(q.Left) + countSetOps(q.Right)
+	}
+	return 0
+}
+
 // EvaluateCursor executes the query through a cursor plan and
 // materializes only the final result — the streaming counterpart of
 // EvaluateWith(n, db, AlgoLAWA).
@@ -125,6 +161,8 @@ type selectCursor struct {
 	in    core.Cursor
 	idx   int
 	value string
+	// noCols pins output batches to the payload view (Options.NoSoA).
+	noCols bool
 
 	// buf/bi buffer the current input block on the batched path; Next
 	// serves any buffered remainder first so tuple- and batch-pulls can
@@ -173,7 +211,7 @@ func (c *selectCursor) NextBatch(b *core.Batch) bool {
 	if c.buf == nil && !c.done {
 		c.buf = core.GetBatch()
 	}
-	for len(b.Tuples) < cap(b.Tuples) {
+	for len(b.Tuples) < b.Cap() {
 		if c.buf == nil || c.bi >= len(c.buf.Tuples) {
 			if c.done || !bin.NextBatch(c.buf) {
 				if !c.done {
@@ -191,7 +229,11 @@ func (c *selectCursor) NextBatch(b *core.Batch) bool {
 		t := &c.buf.Tuples[c.bi]
 		c.bi++
 		if c.idx < len(t.Fact) && t.Fact[c.idx] == c.value {
-			b.Tuples = append(b.Tuples, *t)
+			if c.noCols {
+				b.AppendRow(*t)
+			} else {
+				b.Append(*t)
+			}
 		}
 	}
 	return len(b.Tuples) > 0

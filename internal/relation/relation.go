@@ -260,6 +260,9 @@ type Relation struct {
 	Tuples []Tuple
 
 	dict *keys.Dict
+	// cols caches the columnar projection (BuildCols); every mutator
+	// below clears it, and the Cols accessor re-checks validity.
+	cols *Cols
 }
 
 // New returns an empty relation with the given schema.
@@ -270,6 +273,7 @@ func New(schema Schema) *Relation {
 // Add appends a tuple. The caller is responsible for keeping the relation
 // duplicate-free; ValidateDuplicateFree checks the invariant.
 func (r *Relation) Add(t Tuple) {
+	r.cols = nil
 	if r.dict != nil && t.dict != r.dict {
 		if id, ok := r.dict.ID(t.Key()); ok {
 			t.fid, t.dict = id, r.dict
@@ -290,6 +294,7 @@ func (r *Relation) Dict() *keys.Dict { return r.dict }
 // Binding never reorders tuples, and because dictionaries are
 // order-preserving a sorted relation stays sorted across rebinding.
 func (r *Relation) Bind(d *keys.Dict) bool {
+	r.cols = nil
 	if d == nil {
 		r.Unbind()
 		return false
@@ -312,6 +317,7 @@ func (r *Relation) Bind(d *keys.Dict) bool {
 // the unbound one, which the cross-validation suite and the
 // intern-vs-string benchmark exercise through this switch.
 func (r *Relation) Unbind() {
+	r.cols = nil
 	r.dict = nil
 	for i := range r.Tuples {
 		r.Tuples[i].fid, r.Tuples[i].dict = 0, nil
@@ -442,6 +448,7 @@ func Less(a, b *Tuple) bool {
 // in the paper and a precondition of the window advancer. A bound
 // relation sorts with the pure three-integer comparator.
 func (r *Relation) Sort() {
+	r.cols = nil
 	if r.dict != nil {
 		sort.Slice(r.Tuples, func(i, j int) bool {
 			a, b := &r.Tuples[i], &r.Tuples[j]
@@ -651,6 +658,7 @@ func (r *Relation) String() string {
 // ComputeProbs valuates the lineage probability of every tuple in place
 // (exact: linear for 1OF lineage, Shannon expansion otherwise).
 func (r *Relation) ComputeProbs() {
+	r.cols = nil // the Prob column would go stale
 	for i := range r.Tuples {
 		r.Tuples[i].ComputeProb()
 	}
@@ -662,6 +670,7 @@ func (r *Relation) ComputeProbs() {
 // where exact Shannon expansion would blow up; the standard error per
 // tuple is at most 0.5/sqrt(n).
 func (r *Relation) ComputeProbsMonteCarlo(n int, rng lineage.RNG) {
+	r.cols = nil // the Prob column would go stale
 	for i := range r.Tuples {
 		r.Tuples[i].Prob = r.Tuples[i].Lineage.ProbMonteCarlo(n, rng)
 	}

@@ -79,10 +79,16 @@ func (c *Catalog) Put(name string, rel *relation.Relation) (version uint64, exis
 // rebind every stored relation via a content-identical clone; versions
 // are unchanged because the logical relation content is unchanged.
 // Rebinding preserves sortedness: both dictionaries order ids by key.
+//
+// Admitted relations are also projected into columns (BuildCols) once,
+// at bind time: query plans over the catalog run AssumeSorted, so this
+// is the single point where the scanned leaves gain their columnar view
+// (Bind invalidates any previous projection).
 func (c *Catalog) admit(name string, rel *relation.Relation) {
 	relKeys := factKeys(rel, nil)
 	if c.dict != nil && c.dict.Contains(relKeys) {
 		rel.Bind(c.dict)
+		rel.BuildCols()
 		return
 	}
 	union := relKeys
@@ -94,12 +100,14 @@ func (c *Catalog) admit(name string, rel *relation.Relation) {
 	}
 	dict := keys.BuildDict(union)
 	rel.Bind(dict)
+	rel.BuildCols()
 	for other, e := range c.rels {
 		if other == name {
 			continue
 		}
 		clone := e.rel.Clone()
 		clone.Bind(dict)
+		clone.BuildCols()
 		c.rels[other] = catEntry{rel: clone, version: e.version}
 	}
 	c.dict = dict

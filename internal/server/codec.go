@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"github.com/tpset/tpset/internal/core"
 	"github.com/tpset/tpset/internal/interval"
 	"github.com/tpset/tpset/internal/lineage"
 	"github.com/tpset/tpset/internal/relation"
@@ -83,18 +84,42 @@ func EncodeTupleInto(tj *TupleJSON, t *relation.Tuple, probs map[string]float64)
 	tj.Te = t.T.Te
 	tj.Prob = t.Prob
 	tj.VarProbs = nil
-	// A bare variable's marginal is recoverable from the tuple itself
-	// when the probability was valuated eagerly; anything else (a real
-	// formula, or a lazily unvaluated tuple) ships explicit marginals.
-	if t.Lineage != nil && (t.Lineage.Kind() != lineage.KindVar || t.Prob != t.Lineage.VarProb()) {
-		if probs == nil {
-			probs = make(map[string]float64)
-		} else {
-			clear(probs)
-		}
-		t.Lineage.VarProbs(probs)
-		tj.VarProbs = probs
+	encodeVarProbs(tj, t.Lineage, probs)
+}
+
+// EncodeBatchInto fills tj with the wire form of row i of b, reading
+// the interval, probability and lineage from the batch's packed columns
+// — the NDJSON stream's read side when the execution stack delivers
+// columnar blocks. The fact values still come from the payload row (the
+// wire format ships strings), and the encoded bytes are identical to
+// EncodeTupleInto over the same row. The batch must have columns
+// (Batch.HasCols); tj/probs reuse rules are as for EncodeTupleInto.
+func EncodeBatchInto(tj *TupleJSON, b *core.Batch, i int, probs map[string]float64) {
+	lam := b.Lam[i]
+	tj.Fact = []string(b.Tuples[i].Fact)
+	tj.Lineage = lam.String()
+	tj.Ts = b.Ts[i]
+	tj.Te = b.Te[i]
+	tj.Prob = b.Prob[i]
+	tj.VarProbs = nil
+	encodeVarProbs(tj, lam, probs)
+}
+
+// encodeVarProbs attaches the formula's variable marginals to tj. A bare
+// variable's marginal is recoverable from the tuple itself when the
+// probability was valuated eagerly; anything else (a real formula, or a
+// lazily unvaluated tuple) ships explicit marginals.
+func encodeVarProbs(tj *TupleJSON, lam *lineage.Expr, probs map[string]float64) {
+	if lam == nil || (lam.Kind() == lineage.KindVar && tj.Prob == lam.VarProb()) {
+		return
 	}
+	if probs == nil {
+		probs = make(map[string]float64)
+	} else {
+		clear(probs)
+	}
+	lam.VarProbs(probs)
+	tj.VarProbs = probs
 }
 
 // DecodeRelation reconstructs a relation from its wire form. name, when

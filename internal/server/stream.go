@@ -189,10 +189,22 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	first := true
 	b := core.NewBatch(streamRampBatch) // unpooled: stream-local cadence sizes
 	for cur.NextBatch(b) {
-		for i := range b.Tuples {
-			EncodeTupleInto(&se.scratch, &b.Tuples[i], se.probs)
-			if err := se.enc.Encode(&se.scratch); err != nil {
-				return // client gone; Close (deferred) releases the producers
+		if b.HasCols() {
+			// Columnar block: the encoder's read side runs over the
+			// packed Ts/Te/Prob/Lam columns instead of walking tuple
+			// structs. Byte-identical output either way.
+			for i := range b.Tuples {
+				EncodeBatchInto(&se.scratch, b, i, se.probs)
+				if err := se.enc.Encode(&se.scratch); err != nil {
+					return // client gone; Close (deferred) releases the producers
+				}
+			}
+		} else {
+			for i := range b.Tuples {
+				EncodeTupleInto(&se.scratch, &b.Tuples[i], se.probs)
+				if err := se.enc.Encode(&se.scratch); err != nil {
+					return // client gone; Close (deferred) releases the producers
+				}
 			}
 		}
 		count += len(b.Tuples)
