@@ -1,0 +1,30 @@
+# Local one-shots mirroring the CI gates. `make lint` is the pre-push
+# check: formatting, go vet, and the repo-specific analyzer suite.
+
+GO ?= go
+
+.PHONY: lint fmt vet tpvet test test-race test-invariants
+
+lint: fmt vet tpvet
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+tpvet:
+	$(GO) run ./cmd/tpvet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Run the suite with the build-tag assertion layer compiled in
+# (internal/invariant): sortedness, duplicate-freeness, column<->row
+# mirror, and pool-capacity accounting all panic on violation.
+test-invariants:
+	$(GO) test -tags tpinvariants ./...

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewAtomicField builds the atomicfield analyzer.
+//
+// A struct field accessed through sync/atomic anywhere must be accessed
+// through sync/atomic everywhere: a single plain load can observe a
+// torn or stale value, and a plain store can be lost entirely. The
+// repository's own convention is the typed atomics (atomic.Uint64 and
+// friends, as in internal/obs) which make mixing impossible; this
+// analyzer covers the raw-pointer form. Collect records every field
+// whose address is passed to an atomic.*(&x.f, ...) call, across all
+// loaded packages; Run flags plain selector reads and writes of those
+// fields. Taking the address again (to call atomic) is not flagged.
+func NewAtomicField() *Analyzer {
+	a := &Analyzer{
+		Name: "atomicfield",
+		Doc: "check that struct fields accessed via sync/atomic are never read or written plainly\n\n" +
+			"Mixing atomic.LoadX/StoreX with direct field access defeats the memory-ordering\n" +
+			"guarantees; use the atomic API (or typed atomics) on every access.",
+	}
+	// Fields are keyed "pkgpath.Type.field". String keys survive the
+	// object-identity split between source-checked and export-data
+	// views of the same package.
+	atomicFields := make(map[string]bool)
+	key := func(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return "", false
+		}
+		v, ok := s.Obj().(*types.Var)
+		if !ok || !v.IsField() || v.Pkg() == nil {
+			return "", false
+		}
+		n := namedType(s.Recv())
+		if n == nil || n.Obj() == nil {
+			return "", false
+		}
+		return v.Pkg().Path() + "." + n.Obj().Name() + "." + v.Name(), true
+	}
+	a.Collect = func(pass *Pass) {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				f := calleeFunc(pass.Info, call)
+				if f == nil || !isPkg(f.Pkg(), "sync/atomic") {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op.String() != "&" {
+						continue
+					}
+					if sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr); ok {
+						if k, ok := key(pass.Info, sel); ok {
+							atomicFields[k] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	a.Run = func(pass *Pass) {
+		for _, file := range pass.Files {
+			var stack []ast.Node
+			ast.Inspect(file, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				stack = append(stack, n)
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				k, ok := key(pass.Info, sel)
+				if !ok || !atomicFields[k] {
+					return true
+				}
+				// &x.f is how the atomic call itself names the field;
+				// only plain loads/stores are violations.
+				if len(stack) >= 2 {
+					if un, ok := stack[len(stack)-2].(*ast.UnaryExpr); ok && un.Op.String() == "&" {
+						return true
+					}
+				}
+				pass.Reportf(sel.Sel.Pos(), "plain access of %s, which is accessed with sync/atomic elsewhere; use the atomic API", k)
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -1,0 +1,490 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewBatchPool builds the batchpool analyzer.
+//
+// batchpool enforces the pooled-batch ownership discipline of
+// internal/core: a *core.Batch obtained from core.GetBatch must, on
+// every path out of the acquiring function, either reach core.PutBatch
+// or be handed off (sent on a channel, returned, stored in a struct,
+// captured by a goroutine/closure — an explicit ownership transfer),
+// and must never be touched again after PutBatch. The analysis is a
+// per-function abstract interpretation over a four-point lattice
+// (held, released, maybe-released, escaped); calls that take the batch
+// as a plain argument are borrows (NextBatch fills, AppendRange reads)
+// and do not change ownership.
+func NewBatchPool() *Analyzer {
+	return &Analyzer{
+		Name: "batchpool",
+		Doc: "check core.GetBatch/PutBatch pairing: no pool leaks on any return path, no use after PutBatch\n\n" +
+			"Pooled batches are owned: the function that calls GetBatch must PutBatch on every\n" +
+			"path that does not explicitly transfer ownership (channel send, return, store).",
+		Run: runBatchPool,
+	}
+}
+
+// bpState is the abstract ownership state of a tracked batch variable.
+type bpState int
+
+const (
+	bpHeld     bpState = iota // owned here, not yet released or transferred
+	bpReleased                // PutBatch called on every path reaching this point
+	bpMaybe                   // released on some paths, still held on others
+	bpEscaped                 // ownership transferred; no further obligations
+)
+
+// bpStates maps tracked variables to their current abstract state.
+type bpStates map[types.Object]bpState
+
+func (st bpStates) clone() bpStates {
+	out := make(bpStates, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+// bpMerge joins the states of two control-flow paths.
+func bpMerge(a, b bpState) bpState {
+	if a == b {
+		return a
+	}
+	if a == bpEscaped || b == bpEscaped {
+		return bpEscaped
+	}
+	return bpMaybe // some mix of held/released/maybe
+}
+
+func bpMergeInto(dst, src bpStates) {
+	for k, v := range src {
+		if cur, ok := dst[k]; ok {
+			dst[k] = bpMerge(cur, v)
+		} else {
+			dst[k] = v
+		}
+	}
+}
+
+func runBatchPool(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					bp := &bpChecker{pass: pass}
+					bp.function(fn.Body)
+				}
+				return true // nested FuncLits handled below
+			case *ast.FuncLit:
+				bp := &bpChecker{pass: pass}
+				bp.function(fn.Body)
+				return true
+			}
+			return true
+		})
+	}
+}
+
+type bpChecker struct {
+	pass *Pass
+}
+
+// function analyzes one function body: batches acquired here must be
+// released or handed off by every exit.
+func (c *bpChecker) function(body *ast.BlockStmt) {
+	st := make(bpStates)
+	out, term := c.block(body.List, st)
+	if !term {
+		c.leakCheck(out, body.End()-1, "function end")
+	}
+}
+
+// leakCheck reports tracked variables still (possibly) held at an exit.
+func (c *bpChecker) leakCheck(st bpStates, pos token.Pos, where string) {
+	for obj, s := range st {
+		switch s {
+		case bpHeld:
+			c.pass.Reportf(pos, "pooled batch %s leaks at %s: no PutBatch or ownership transfer on this path", obj.Name(), where)
+		case bpMaybe:
+			c.pass.Reportf(pos, "pooled batch %s may leak at %s: PutBatch is missing on some paths", obj.Name(), where)
+		}
+	}
+}
+
+// block interprets a statement list, returning the exit states and
+// whether the list definitely transfers control out of the block.
+func (c *bpChecker) block(list []ast.Stmt, st bpStates) (bpStates, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = c.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (c *bpChecker) stmt(s ast.Stmt, st bpStates) (bpStates, bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		c.assign(s, st)
+		return st, false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						if c.isAcquire(vs.Values[i]) {
+							if obj := c.pass.Info.Defs[name]; obj != nil {
+								st[obj] = bpHeld
+							}
+							continue
+						}
+						c.effects(vs.Values[i], st)
+					}
+				}
+			}
+		}
+		return st, false
+	case *ast.ExprStmt:
+		c.effects(s.X, st)
+		return st, false
+	case *ast.SendStmt:
+		c.effects(s.Chan, st)
+		c.escapeBareIdent(s.Value, st)
+		return st, false
+	case *ast.IncDecStmt:
+		c.effects(s.X, st)
+		return st, false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.escapeBareIdent(r, st)
+		}
+		c.leakCheck(st, s.Pos(), "return")
+		return st, true
+	case *ast.BranchStmt:
+		// break/continue/goto: control leaves this block; the states at
+		// the jump are not merged back (approximation: a batch carried
+		// across a break is caught by the end-of-function check).
+		return st, true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = c.stmt(s.Init, st)
+		}
+		c.effects(s.Cond, st)
+		thenOut, thenTerm := c.block(s.Body.List, st.clone())
+		elseSt := st.clone()
+		var elseOut bpStates
+		elseTerm := false
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseOut, elseTerm = c.block(e.List, elseSt)
+			default:
+				elseOut, elseTerm = c.stmt(s.Else, elseSt)
+			}
+		} else {
+			elseOut = elseSt
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			bpMergeInto(thenOut, elseOut)
+			return thenOut, false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = c.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			c.effects(s.Cond, st)
+		}
+		bodyOut, _ := c.block(s.Body.List, st.clone())
+		if s.Post != nil {
+			bodyOut, _ = c.stmt(s.Post, bodyOut)
+		}
+		// A batch acquired inside the loop body and still held when the
+		// iteration ends is either overwritten next iteration or carried
+		// out of the loop unreleased.
+		for obj, state := range bodyOut {
+			if _, outer := st[obj]; !outer && (state == bpHeld || state == bpMaybe) {
+				c.pass.Reportf(s.Body.End()-1, "pooled batch %s is still held at the end of the loop body: PutBatch or hand it off before the next iteration", obj.Name())
+				bodyOut[obj] = bpEscaped // report once
+			}
+		}
+		bpMergeInto(bodyOut, st)
+		return bodyOut, false
+	case *ast.RangeStmt:
+		c.effects(s.X, st)
+		bodyOut, _ := c.block(s.Body.List, st.clone())
+		bpMergeInto(bodyOut, st)
+		return bodyOut, false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = c.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.effects(s.Tag, st)
+		}
+		return c.clauses(s.Body.List, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = c.stmt(s.Init, st)
+		}
+		return c.clauses(s.Body.List, st)
+	case *ast.SelectStmt:
+		merged := make(bpStates)
+		anyFall := false
+		allTerm := true
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			clSt := st.clone()
+			if comm.Comm != nil {
+				clSt, _ = c.stmt(comm.Comm, clSt)
+			}
+			out, term := c.block(comm.Body, clSt)
+			if !term {
+				anyFall = true
+				allTerm = false
+				bpMergeInto(merged, out)
+			}
+		}
+		if len(s.Body.List) == 0 {
+			return st, false
+		}
+		if allTerm {
+			return st, true
+		}
+		_ = anyFall
+		return merged, false
+	case *ast.BlockStmt:
+		return c.block(s.List, st)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, st)
+	case *ast.DeferStmt:
+		// defer PutBatch(v) releases at every exit: the variable has no
+		// further obligations (and any later use is still legal until
+		// the function returns), so it drops out of tracking.
+		if c.isRelease(s.Call) {
+			if obj := c.bareIdentObj(s.Call.Args[0], st); obj != nil {
+				st[obj] = bpEscaped
+				return st, false
+			}
+		}
+		c.effects(s.Call, st)
+		return st, false
+	case *ast.GoStmt:
+		// Ownership crosses a goroutine boundary: everything referenced
+		// escapes.
+		c.escapeAll(s.Call, st)
+		return st, false
+	}
+	return st, false
+}
+
+func (c *bpChecker) clauses(list []ast.Stmt, st bpStates) (bpStates, bool) {
+	merged := make(bpStates)
+	sawFall := false
+	hasDefault := false
+	for _, cl := range list {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			c.effects(e, st)
+		}
+		out, term := c.block(cc.Body, st.clone())
+		if !term {
+			sawFall = true
+			bpMergeInto(merged, out)
+		}
+	}
+	if !hasDefault {
+		// The zero-case path falls through with the entry state.
+		sawFall = true
+		bpMergeInto(merged, st)
+	}
+	if !sawFall {
+		return st, true
+	}
+	return merged, false
+}
+
+// assign handles acquisitions (v := GetBatch()) and general effects.
+func (c *bpChecker) assign(s *ast.AssignStmt, st bpStates) {
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, rhs := range s.Rhs {
+			if !c.isAcquire(rhs) {
+				continue
+			}
+			id, ok := s.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue // stored straight into a field/slot: immediate transfer
+			}
+			obj := c.pass.Info.Defs[id]
+			if obj == nil {
+				obj = c.pass.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if prev, tracked := st[obj]; tracked && (prev == bpHeld || prev == bpMaybe) {
+				c.pass.Reportf(s.Pos(), "pooled batch %s is reassigned while still held: the previous batch leaks", id.Name)
+			}
+			st[obj] = bpHeld
+		}
+	}
+	// Remaining effects: reads/escapes on the RHS, uses on the LHS.
+	for i, rhs := range s.Rhs {
+		if len(s.Lhs) == len(s.Rhs) && c.isAcquire(rhs) {
+			if _, ok := s.Lhs[i].(*ast.Ident); ok {
+				continue // handled above
+			}
+		}
+		c.escapeBareIdent(rhs, st)
+	}
+	for _, lhs := range s.Lhs {
+		if _, ok := lhs.(*ast.Ident); !ok {
+			c.effects(lhs, st)
+		}
+	}
+}
+
+// isAcquire reports whether e is a direct core.GetBatch() call.
+func (c *bpChecker) isAcquire(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	return ok && isCallTo(c.pass.Info, call, "core", "GetBatch")
+}
+
+// isRelease reports whether call is core.PutBatch(x).
+func (c *bpChecker) isRelease(call *ast.CallExpr) bool {
+	return len(call.Args) == 1 && isCallTo(c.pass.Info, call, "core", "PutBatch")
+}
+
+// bareIdentObj returns the tracked object when e is a plain identifier
+// for a tracked batch variable.
+func (c *bpChecker) bareIdentObj(e ast.Expr, st bpStates) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := c.pass.Info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	if _, tracked := st[obj]; !tracked {
+		return nil
+	}
+	return obj
+}
+
+// effects walks an expression for ownership effects: PutBatch releases,
+// sends/returns/stores/captures escape, everything else is a borrow or
+// read (flagged when the batch was already released).
+func (c *bpChecker) effects(e ast.Expr, st bpStates) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if c.isRelease(n) {
+				if obj := c.bareIdentObj(n.Args[0], st); obj != nil {
+					if st[obj] == bpReleased {
+						c.pass.Reportf(n.Pos(), "pooled batch %s is passed to PutBatch twice", obj.Name())
+					}
+					st[obj] = bpReleased
+					return false
+				}
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+				// append(dst, v): v is retained by dst — a transfer.
+				for i, a := range n.Args {
+					if i == 0 {
+						c.effects(a, st)
+						continue
+					}
+					c.escapeBareIdent(a, st)
+				}
+				return false
+			}
+			// Plain call: arguments are borrowed, not transferred.
+			c.effects(n.Fun, st)
+			for _, a := range n.Args {
+				c.effects(a, st)
+			}
+			return false
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					c.escapeBareIdent(kv.Value, st)
+				} else {
+					c.escapeBareIdent(el, st)
+				}
+			}
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				c.escapeBareIdent(n.X, st)
+				return false
+			}
+		case *ast.FuncLit:
+			// Captured by a closure: the closure may outlive this frame.
+			c.escapeAll(n.Body, st)
+			return false
+		case *ast.Ident:
+			if obj := c.pass.Info.Uses[n]; obj != nil {
+				if s, tracked := st[obj]; tracked && s == bpReleased {
+					c.pass.Reportf(n.Pos(), "use of pooled batch %s after PutBatch", n.Name)
+					st[obj] = bpEscaped // report once
+				}
+			}
+		}
+		return true
+	})
+}
+
+// escapeBareIdent marks e's batch as transferred when e is a bare
+// tracked identifier; otherwise it applies plain effects.
+func (c *bpChecker) escapeBareIdent(e ast.Expr, st bpStates) {
+	if obj := c.bareIdentObj(e, st); obj != nil {
+		if st[obj] == bpReleased {
+			c.pass.Reportf(e.Pos(), "use of pooled batch %s after PutBatch", obj.Name())
+		}
+		st[obj] = bpEscaped
+		return
+	}
+	c.effects(e, st)
+}
+
+// escapeAll marks every tracked identifier referenced under n escaped.
+func (c *bpChecker) escapeAll(n ast.Node, st bpStates) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.pass.Info.Uses[id]; obj != nil {
+				if _, tracked := st[obj]; tracked {
+					st[obj] = bpEscaped
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,549 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewColness builds the colness analyzer.
+//
+// The SoA contract (internal/core, internal/relation): the column views
+// Batch.Fid/Ts/Te/Prob/Lam are valid only while Batch.Dict != nil, and
+// a *relation.Cols mirror is valid only when non-nil. Reading a column
+// without first establishing colness silently reads stale or empty
+// slices — exactly the class of bug the row-path fallback exists to
+// prevent. The analyzer flags every read of a column field that is not
+// dominated by a recognized colness guard.
+//
+// Recognized guards for a batch b: `b.Dict != nil`, `b.HasCols()`, the
+// else-branch of `b.Dict == nil`, an early exit (`if b.Dict == nil {
+// return }`), and a direct assignment `b.Dict = <non-nil>`. Within a
+// guard conjunction, `a.Dict == b.Dict` extends a's guard to b. For a
+// *relation.Cols value c the guards are `c != nil` (and its early-exit
+// dual) and construction via &Cols{...}. Writes that (re)build a column
+// are exempt, as are len/cap probes, which are well-defined on nil
+// slices and are themselves how code tests colness consistency.
+func NewColness() *Analyzer {
+	return &Analyzer{
+		Name: "colness",
+		Doc: "check that SoA column reads (Batch.Fid/Ts/Te/Prob/Lam, relation.Cols fields) are dominated by a colness guard\n\n" +
+			"Column views are valid only under Dict != nil / HasCols(); unguarded reads see\n" +
+			"stale or empty columns instead of falling back to the row path.",
+		Run: runColness,
+	}
+}
+
+// colFields are the guarded column views on core.Batch and relation.Cols.
+var colFields = map[string]bool{"Fid": true, "Ts": true, "Te": true, "Prob": true, "Lam": true}
+
+func runColness(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &colChecker{pass: pass}
+			c.funcBody(fd.Body)
+		}
+	}
+}
+
+type colChecker struct {
+	pass *Pass
+}
+
+// colGuards is the set of expression strings currently known colness-
+// guarded ("b", "s.b", "c", ...), keyed by types.ExprString of the
+// column's base expression.
+type colGuards map[string]bool
+
+func (g colGuards) clone() colGuards {
+	out := make(colGuards, len(g))
+	for k, v := range g {
+		out[k] = v
+	}
+	return out
+}
+
+// kill removes guards for base and anything reached through it
+// ("b" kills "b" and "b.x", not "bx").
+func (g colGuards) kill(base string) {
+	for k := range g {
+		if k == base || (len(k) > len(base) && k[:len(base)] == base && k[len(base)] == '.') {
+			delete(g, k)
+		}
+	}
+}
+
+func (c *colChecker) funcBody(body *ast.BlockStmt) {
+	guards := make(colGuards)
+	c.block(body.List, guards)
+	c.funcLits(body, guards)
+}
+
+// funcLits analyzes function literals under n as separate functions
+// with fresh guards (a closure can run after the captured guard is
+// stale, so outer guards are not inherited).
+func (c *colChecker) funcLits(n ast.Node, _ colGuards) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			inner := &colChecker{pass: c.pass}
+			inner.block(fl.Body.List, make(colGuards))
+			inner.funcLits(fl.Body, nil)
+			return false
+		}
+		return true
+	})
+}
+
+// block interprets a statement list, mutating guards in place.
+func (c *colChecker) block(list []ast.Stmt, guards colGuards) {
+	for _, s := range list {
+		c.stmt(s, guards)
+	}
+}
+
+func (c *colChecker) stmt(s ast.Stmt, guards colGuards) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		c.assign(s, guards)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok {
+				for _, v := range vs.Values {
+					c.check(v, guards, nil)
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) && c.buildsCols(vs.Values[i]) {
+						guards[name.Name] = true
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		c.check(s.X, guards, nil)
+	case *ast.SendStmt:
+		c.check(s.Chan, guards, nil)
+		c.check(s.Value, guards, nil)
+	case *ast.IncDecStmt:
+		c.check(s.X, guards, nil)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.check(r, guards, nil)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, guards)
+		}
+		pos, neg := c.condGuards(s.Cond, guards)
+		thenG := guards.clone()
+		for k := range pos {
+			thenG[k] = true
+		}
+		c.block(s.Body.List, thenG)
+		elseG := guards.clone()
+		for k := range neg {
+			elseG[k] = true
+		}
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			c.block(e.List, elseG)
+		case *ast.IfStmt:
+			c.stmt(e, elseG)
+		}
+		// Early-exit idiom: `if b.Dict == nil { return }` guards the
+		// rest of the enclosing block; the dual guards after a
+		// terminating else.
+		if terminates(s.Body.List) {
+			for k := range neg {
+				guards[k] = true
+			}
+		}
+		if eb, ok := s.Else.(*ast.BlockStmt); ok && terminates(eb.List) {
+			for k := range pos {
+				guards[k] = true
+			}
+		}
+	case *ast.ForStmt:
+		inner := guards.clone()
+		if s.Init != nil {
+			c.stmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			pos, _ := c.condGuards(s.Cond, inner)
+			for k := range pos {
+				inner[k] = true
+			}
+		}
+		c.block(s.Body.List, inner)
+		if s.Post != nil {
+			c.stmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		c.check(s.X, guards, nil)
+		c.block(s.Body.List, guards.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, guards)
+		}
+		if s.Tag != nil {
+			c.check(s.Tag, guards, nil)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					c.check(e, guards, nil)
+				}
+				c.block(cc.Body, guards.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, guards)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.block(cc.Body, guards.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				inner := guards.clone()
+				if cc.Comm != nil {
+					c.stmt(cc.Comm, inner)
+				}
+				c.block(cc.Body, inner)
+			}
+		}
+	case *ast.BlockStmt:
+		c.block(s.List, guards)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, guards)
+	case *ast.DeferStmt:
+		c.check(s.Call, guards, nil)
+	case *ast.GoStmt:
+		c.check(s.Call, guards, nil)
+	}
+}
+
+// assign checks reads, applies write exemptions, and updates guards.
+func (c *colChecker) assign(s *ast.AssignStmt, guards colGuards) {
+	// Writes to a column rebuild it: reads of the same column within
+	// this statement (b.Fid = append(b.Fid[:0], ...)) are exempt.
+	exempt := make(map[string]bool)
+	for _, lhs := range s.Lhs {
+		e := ast.Unparen(lhs)
+		if ix, ok := e.(*ast.IndexExpr); ok {
+			e = ast.Unparen(ix.X)
+		}
+		if sel, ok := e.(*ast.SelectorExpr); ok && c.isColumnSel(sel) {
+			exempt[exprString(sel)] = true
+		}
+	}
+	for _, rhs := range s.Rhs {
+		c.check(rhs, guards, exempt)
+	}
+	for _, lhs := range s.Lhs {
+		// Index/selector components of the LHS are reads too (b.Fid[i]
+		// reads b.Fid's backing array only through the exempted base;
+		// the index expression itself still gets checked).
+		if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			c.check(ix.Index, guards, exempt)
+			if sel, ok := ast.Unparen(ix.X).(*ast.SelectorExpr); !ok || !c.isColumnSel(sel) {
+				c.check(ix.X, guards, exempt)
+			}
+		}
+	}
+	// Guard gen/kill.
+	for i, lhs := range s.Lhs {
+		e := ast.Unparen(lhs)
+		var rhs ast.Expr
+		if len(s.Lhs) == len(s.Rhs) {
+			rhs = s.Rhs[i]
+		}
+		switch e := e.(type) {
+		case *ast.SelectorExpr:
+			if e.Sel.Name == "Dict" && isNamed(c.typeOf(e.X), "core", "Batch") {
+				base := exprString(e.X)
+				if rhs != nil && !isNilExpr(rhs) {
+					guards[base] = true
+				} else {
+					guards.kill(base)
+				}
+				continue
+			}
+			guards.kill(exprString(e))
+		case *ast.Ident:
+			if e.Name == "_" {
+				continue
+			}
+			guards.kill(e.Name)
+			if rhs != nil && c.buildsCols(rhs) {
+				guards[e.Name] = true
+			}
+		}
+	}
+}
+
+// check walks an expression, reporting unguarded column reads.
+func (c *colChecker) check(e ast.Expr, guards colGuards, exempt map[string]bool) {
+	if e == nil {
+		return
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.LAND {
+			pos, _ := c.condGuards(e.X, guards)
+			c.check(e.X, guards, exempt)
+			sub := guards.clone()
+			for k := range pos {
+				sub[k] = true
+			}
+			c.check(e.Y, sub, exempt)
+			return
+		}
+		if e.Op == token.LOR {
+			_, neg := c.condGuards(e.X, guards)
+			c.check(e.X, guards, exempt)
+			sub := guards.clone()
+			for k := range neg {
+				sub[k] = true
+			}
+			c.check(e.Y, sub, exempt)
+			return
+		}
+		c.check(e.X, guards, exempt)
+		c.check(e.Y, guards, exempt)
+		return
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+			// len/cap are nil-safe probes, not column reads.
+			for _, a := range e.Args {
+				c.checkSkipTopColumn(a, guards, exempt)
+			}
+			return
+		}
+		c.check(e.Fun, guards, exempt)
+		for _, a := range e.Args {
+			c.check(a, guards, exempt)
+		}
+		return
+	case *ast.SelectorExpr:
+		if c.isColumnSel(e) {
+			base := exprString(e.X)
+			if !guards[base] && (exempt == nil || !exempt[exprString(e)]) {
+				c.pass.Reportf(e.Sel.Pos(), "read of column %s without a colness guard (check Dict != nil / HasCols, or fall back to the row path)", exprString(e))
+			}
+			c.check(e.X, guards, exempt)
+			return
+		}
+		c.check(e.X, guards, exempt)
+		return
+	case *ast.IndexExpr:
+		c.check(e.X, guards, exempt)
+		c.check(e.Index, guards, exempt)
+		return
+	case *ast.SliceExpr:
+		c.check(e.X, guards, exempt)
+		c.check(e.Low, guards, exempt)
+		c.check(e.High, guards, exempt)
+		c.check(e.Max, guards, exempt)
+		return
+	case *ast.UnaryExpr:
+		c.check(e.X, guards, exempt)
+		return
+	case *ast.StarExpr:
+		c.check(e.X, guards, exempt)
+		return
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			c.check(el, guards, exempt)
+		}
+		return
+	case *ast.KeyValueExpr:
+		c.check(e.Value, guards, exempt)
+		return
+	case *ast.TypeAssertExpr:
+		c.check(e.X, guards, exempt)
+		return
+	case *ast.FuncLit:
+		return // handled by funcLits with fresh guards
+	}
+}
+
+// checkSkipTopColumn checks e but does not flag e itself when it is a
+// direct column selector (or a slice of one) — used under len/cap.
+func (c *colChecker) checkSkipTopColumn(e ast.Expr, guards colGuards, exempt map[string]bool) {
+	e = ast.Unparen(e)
+	if sl, ok := e.(*ast.SliceExpr); ok {
+		e = ast.Unparen(sl.X)
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok && c.isColumnSel(sel) {
+		c.check(sel.X, guards, exempt)
+		return
+	}
+	c.check(e, guards, exempt)
+}
+
+// condGuards extracts the guard sets a condition establishes when true
+// (pos) and when false (neg).
+func (c *colChecker) condGuards(cond ast.Expr, guards colGuards) (pos, neg map[string]bool) {
+	pos, neg = map[string]bool{}, map[string]bool{}
+	c.collectGuards(cond, guards, pos, neg)
+	return pos, neg
+}
+
+func (c *colChecker) collectGuards(cond ast.Expr, guards colGuards, pos, neg map[string]bool) {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			// Both conjuncts hold when true; neg is not derivable.
+			sub1, _ := c.condGuards(e.X, guards)
+			for k := range sub1 {
+				pos[k] = true
+			}
+			aug := guards.clone()
+			for k := range sub1 {
+				aug[k] = true
+			}
+			sub2, _ := c.condGuards(e.Y, aug)
+			for k := range sub2 {
+				pos[k] = true
+			}
+		case token.LOR:
+			// Both disjuncts false when the whole is false.
+			_, sub1 := c.condGuards(e.X, guards)
+			for k := range sub1 {
+				neg[k] = true
+			}
+			_, sub2 := c.condGuards(e.Y, guards)
+			for k := range sub2 {
+				neg[k] = true
+			}
+		case token.NEQ:
+			if base, ok := c.nilCompareBase(e.X, e.Y); ok {
+				pos[base] = true
+			}
+		case token.EQL:
+			if base, ok := c.nilCompareBase(e.X, e.Y); ok {
+				neg[base] = true
+				return
+			}
+			// a.Dict == b.Dict: colness of one side transfers to the
+			// other inside the guarded region.
+			if a, okA := c.dictBase(e.X); okA {
+				if b, okB := c.dictBase(e.Y); okB {
+					if guards[a] {
+						pos[b] = true
+					}
+					if guards[b] {
+						pos[a] = true
+					}
+					for k := range pos {
+						if k == a {
+							pos[b] = true
+						}
+						if k == b {
+							pos[a] = true
+						}
+					}
+				}
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			subPos, subNeg := c.condGuards(e.X, guards)
+			for k := range subNeg {
+				pos[k] = true
+			}
+			for k := range subPos {
+				neg[k] = true
+			}
+		}
+	case *ast.CallExpr:
+		// b.HasCols() is the exported colness predicate.
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "HasCols" {
+			if isNamed(c.typeOf(sel.X), "core", "Batch") {
+				pos[exprString(sel.X)] = true
+			}
+		}
+	case *ast.Ident:
+		// bare bool: nothing derivable
+	}
+}
+
+// nilCompareBase matches `X (op) nil` where X is a colness carrier:
+// either b.Dict (guards b) or a *relation.Cols value c (guards c).
+func (c *colChecker) nilCompareBase(x, y ast.Expr) (string, bool) {
+	e := x
+	if isNilExpr(x) {
+		e = y
+	} else if !isNilExpr(y) {
+		return "", false
+	}
+	e = ast.Unparen(e)
+	if base, ok := c.dictBase(e); ok {
+		return base, true
+	}
+	if isNamed(c.typeOf(e), "relation", "Cols") {
+		return exprString(e), true
+	}
+	return "", false
+}
+
+// dictBase matches b.Dict for a core.Batch b, returning b's key.
+func (c *colChecker) dictBase(e ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Dict" {
+		return "", false
+	}
+	if !isNamed(c.typeOf(sel.X), "core", "Batch") {
+		return "", false
+	}
+	return exprString(sel.X), true
+}
+
+// isColumnSel reports whether sel reads a guarded column field.
+func (c *colChecker) isColumnSel(sel *ast.SelectorExpr) bool {
+	if !colFields[sel.Sel.Name] {
+		return false
+	}
+	t := c.typeOf(sel.X)
+	return isNamed(t, "core", "Batch") || isNamed(t, "relation", "Cols")
+}
+
+// buildsCols reports whether e constructs a non-nil *relation.Cols
+// (&Cols{...} or new(Cols)).
+func (c *colChecker) buildsCols(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		cl, ok := e.X.(*ast.CompositeLit)
+		return ok && isNamed(c.typeOf(cl), "relation", "Cols")
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "new" && len(e.Args) == 1 {
+			return isNamed(c.typeOf(e.Args[0]), "relation", "Cols")
+		}
+	}
+	return false
+}
+
+func (c *colChecker) typeOf(e ast.Expr) types.Type {
+	return c.pass.Info.TypeOf(e)
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewCtxDone builds the ctxdone analyzer.
+//
+// Engine producers stream batches over channels from goroutines that
+// take a context: a bare `ch <- b` inside their production loop blocks
+// forever once the consumer stops reading, leaking the goroutine and
+// every pooled batch it holds. In any function that has a
+// context.Context in scope, a channel send inside a for/range loop must
+// be a select case alongside a cancellation case — a receive from
+// ctx.Done() or from a done channel (any receive of a struct{}-element
+// channel). Functions without a context in scope are exempt: they have
+// no cancellation signal to select on. Function literals are separate
+// scopes — a closure that takes or captures no context is exempt even
+// inside a context-aware function.
+func NewCtxDone() *Analyzer {
+	return &Analyzer{
+		Name: "ctxdone",
+		Doc: "check that channel-send loops in context-aware producers select on ctx.Done()/done\n\n" +
+			"A bare send in a production loop deadlocks the goroutine when the consumer\n" +
+			"abandons the stream; every loop send must race a cancellation receive.",
+		Run: runCtxDone,
+	}
+}
+
+func runCtxDone(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkCtxFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkCtxFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxFunc analyzes one function body (FuncLits excluded — they are
+// visited as their own functions).
+func checkCtxFunc(pass *Pass, body *ast.BlockStmt) {
+	if !referencesContext(pass, body) {
+		return
+	}
+	var walkLoops func(n ast.Node, inLoop bool)
+	walkLoops = func(n ast.Node, inLoop bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return // separate scope
+		case *ast.ForStmt:
+			walkLoops(n.Body, true)
+			return
+		case *ast.RangeStmt:
+			walkLoops(n.Body, true)
+			return
+		case *ast.SendStmt:
+			if inLoop {
+				pass.Reportf(n.Arrow, "channel send inside a loop without a cancellation case: select on ctx.Done() (or the stream's done channel) alongside the send")
+			}
+			return
+		case *ast.SelectStmt:
+			if inLoop && !selectHasCancel(pass, n) && selectHasSend(n) {
+				pass.Reportf(n.Select, "select sends in a loop but has no cancellation case: add a ctx.Done()/done receive")
+			}
+			// Clause bodies may contain nested loops/sends.
+			for _, cl := range n.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						walkLoops(s, inLoop)
+					}
+				}
+			}
+			return
+		}
+		// Generic descent preserving inLoop.
+		ast.Inspect(n, func(child ast.Node) bool {
+			if child == n {
+				return true
+			}
+			switch child.(type) {
+			case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt, *ast.SendStmt, *ast.SelectStmt:
+				walkLoops(child, inLoop)
+				return false
+			}
+			return true
+		})
+	}
+	walkLoops(body, false)
+}
+
+// referencesContext reports whether the body uses any context.Context
+// value (parameter or capture) — the signal that cancellation is
+// available and expected to be honored.
+func referencesContext(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate scope
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if isNamed(obj.Type(), "context", "Context") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// selectHasSend reports whether any comm clause is a send.
+func selectHasSend(sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok {
+			if _, ok := cc.Comm.(*ast.SendStmt); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// selectHasCancel reports whether any comm clause receives a
+// cancellation signal: `<-ctx.Done()` or a receive from any channel of
+// struct{} elements (the done-channel convention).
+func selectHasCancel(pass *Pass, sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		var recv ast.Expr
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if un, ok := comm.X.(*ast.UnaryExpr); ok && un.Op.String() == "<-" {
+				recv = un.X
+			}
+		case *ast.AssignStmt:
+			for _, r := range comm.Rhs {
+				if un, ok := ast.Unparen(r).(*ast.UnaryExpr); ok && un.Op.String() == "<-" {
+					recv = un.X
+				}
+			}
+		}
+		if recv == nil {
+			continue
+		}
+		if call, ok := ast.Unparen(recv).(*ast.CallExpr); ok {
+			if s, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && s.Sel.Name == "Done" {
+				return true
+			}
+		}
+		if ch, ok := pass.Info.TypeOf(recv).(*types.Chan); ok {
+			if st, ok := ch.Elem().Underlying().(*types.Struct); ok && st.NumFields() == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewLockSnap builds the locksnap analyzer.
+//
+// internal/server keeps shared catalog state (maps, clocks, dict
+// handles) inside structs that embed a sync.Mutex/RWMutex; every access
+// must happen with the lock held, or through an unexported helper whose
+// callers all hold it (the Put→admit pattern), or on a pointer snapshot
+// taken under RLock and used lock-free afterwards. The analyzer finds
+// mutex-guarded structs in packages named "server", then flags guarded-
+// field accesses in functions that neither lock the mutex themselves
+// nor are unexported helpers reachable only from locking functions
+// (computed as a call-graph fixpoint). Freshly constructed locals —
+// the snapshot/constructor idiom — are exempt: a value built inside the
+// function is not shared yet.
+func NewLockSnap() *Analyzer {
+	return &Analyzer{
+		Name: "locksnap",
+		Doc: "check that mutex-guarded catalog state in internal/server is accessed only under the lock or via a snapshot\n\n" +
+			"Fields of a struct carrying a sync.(RW)Mutex must be touched while the mutex is\n" +
+			"held, from helpers whose callers all hold it, or on locally constructed values.",
+		Run: runLockSnap,
+	}
+}
+
+func runLockSnap(pass *Pass) {
+	if !isPkg(pass.Pkg, "server") {
+		return
+	}
+
+	// Guarded structs: named types in this package whose struct has a
+	// sync.Mutex or sync.RWMutex field. Every other unexported field is
+	// guarded state.
+	guarded := make(map[*types.Named]bool)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		n, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := n.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if isMutex(st.Field(i).Type()) {
+				guarded[n] = true
+				break
+			}
+		}
+	}
+	if len(guarded) == 0 {
+		return
+	}
+
+	isGuardedField := func(sel *ast.SelectorExpr) bool {
+		s, ok := pass.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return false
+		}
+		v, ok := s.Obj().(*types.Var)
+		if !ok || !v.IsField() || v.Exported() || isMutex(v.Type()) {
+			return false
+		}
+		n := namedType(s.Recv())
+		return n != nil && guarded[n]
+	}
+
+	// Per function: does it lock, which guarded fields does it touch,
+	// and which in-package functions call it.
+	type fnInfo struct {
+		decl     *ast.FuncDecl
+		locks    bool
+		accesses []*ast.SelectorExpr
+		callers  []*types.Func
+	}
+	fns := make(map[*types.Func]*fnInfo)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			fi := &fnInfo{decl: fd}
+			fns[obj] = fi
+
+			// Locals constructed in this function are private until
+			// published; accesses through them are snapshot-safe.
+			fresh := make(map[types.Object]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || len(as.Lhs) != len(as.Rhs) {
+					return true
+				}
+				for i, lhs := range as.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pass.Info.Defs[id]
+					if obj == nil {
+						continue
+					}
+					if constructsValue(as.Rhs[i]) {
+						fresh[obj] = true
+					}
+				}
+				return true
+			})
+
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+						switch sel.Sel.Name {
+						case "Lock", "RLock":
+							if isMutex(pass.Info.TypeOf(sel.X)) {
+								fi.locks = true
+							}
+						}
+					}
+				case *ast.SelectorExpr:
+					if isGuardedField(n) {
+						if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+							if obj := pass.Info.Uses[id]; obj != nil && fresh[obj] {
+								return true
+							}
+						}
+						fi.accesses = append(fi.accesses, n)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Call graph (in-package static calls only).
+	for caller, fi := range fns {
+		ast.Inspect(fi.decl, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := calleeFunc(pass.Info, call); callee != nil {
+				if _, inPkg := fns[callee]; inPkg {
+					fns[callee].callers = append(fns[callee].callers, caller)
+				}
+			}
+			return true
+		})
+	}
+
+	// Fixpoint: a function holds the lock if it locks itself, or if it
+	// is unexported, has callers, and every caller holds the lock.
+	holds := make(map[*types.Func]bool)
+	for f, fi := range fns {
+		holds[f] = fi.locks
+	}
+	for changed := true; changed; {
+		changed = false
+		for f, fi := range fns {
+			if holds[f] || f.Exported() || len(fi.callers) == 0 {
+				continue
+			}
+			all := true
+			for _, c := range fi.callers {
+				if !holds[c] {
+					all = false
+					break
+				}
+			}
+			if all {
+				holds[f] = true
+				changed = true
+			}
+		}
+	}
+
+	for f, fi := range fns {
+		if holds[f] {
+			continue
+		}
+		for _, sel := range fi.accesses {
+			pass.Reportf(sel.Sel.Pos(), "access of mutex-guarded field %s outside the lock: hold the mutex, take a snapshot under RLock, or reach it via a helper whose callers lock", exprString(sel))
+		}
+	}
+}
+
+// isMutex reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isMutex(t types.Type) bool {
+	return isNamed(t, "sync", "Mutex") || isNamed(t, "sync", "RWMutex")
+}
+
+// constructsValue reports whether e builds a fresh value: a composite
+// literal (possibly &-ed), new(T), or a make call.
+func constructsValue(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := e.X.(*ast.CompositeLit)
+		return e.Op.String() == "&" && ok
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			return id.Name == "new" || id.Name == "make"
+		}
+	}
+	return false
+}

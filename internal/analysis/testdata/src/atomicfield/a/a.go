@@ -1,0 +1,43 @@
+// Fixture for the atomicfield analyzer: a field touched via sync/atomic
+// anywhere must be touched atomically everywhere.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	n    uint64
+	safe uint64
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *counter) load() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+// --- flagged cases ---
+
+func (c *counter) badLoad() uint64 {
+	return c.n // want `plain access of .*counter\.n, which is accessed with sync/atomic elsewhere`
+}
+
+func (c *counter) badStore() {
+	c.n = 0 // want `plain access of .*counter\.n`
+}
+
+// --- clean cases ---
+
+func (c *counter) plainField() uint64 {
+	return c.safe
+}
+
+func fresh() *counter {
+	return &counter{n: 0, safe: 1}
+}
+
+func (c *counter) suppressed() uint64 {
+	//tpvet:ignore atomicfield read during single-threaded teardown after all writers joined
+	return c.n
+}

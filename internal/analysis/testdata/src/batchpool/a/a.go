@@ -1,0 +1,137 @@
+// Fixture for the batchpool analyzer: GetBatch/PutBatch pairing,
+// leaks on return/error paths, use-after-put, and the ownership
+// transfers that legitimately end tracking.
+package a
+
+import "core"
+
+var errNope error
+
+func use(b *core.Batch)       {}
+func fill(b *core.Batch) bool { return len(b.Tuples) > 0 }
+func cond() bool              { return true }
+
+// --- flagged cases ---
+
+func leakEnd() {
+	b := core.GetBatch()
+	use(b)
+} // want `pooled batch b leaks at function end`
+
+func leakReturn() {
+	b := core.GetBatch()
+	use(b)
+	return // want `pooled batch b leaks at return`
+}
+
+func leakErrPath() error {
+	b := core.GetBatch()
+	if !fill(b) {
+		return errNope // want `pooled batch b leaks at return`
+	}
+	core.PutBatch(b)
+	return nil
+}
+
+func mayLeak() {
+	b := core.GetBatch()
+	if cond() {
+		core.PutBatch(b)
+	}
+} // want `pooled batch b may leak at function end`
+
+func useAfterPut() {
+	b := core.GetBatch()
+	core.PutBatch(b)
+	use(b) // want `use of pooled batch b after PutBatch`
+}
+
+func doublePut() {
+	b := core.GetBatch()
+	core.PutBatch(b)
+	core.PutBatch(b) // want `pooled batch b is passed to PutBatch twice`
+}
+
+func reassignWhileHeld() {
+	b := core.GetBatch()
+	b = core.GetBatch() // want `pooled batch b is reassigned while still held`
+	core.PutBatch(b)
+}
+
+func loopHeld() {
+	for cond() {
+		b := core.GetBatch()
+		use(b)
+	} // want `pooled batch b is still held at the end of the loop body`
+}
+
+// --- clean cases ---
+
+func cleanPut() {
+	b := core.GetBatch()
+	use(b)
+	core.PutBatch(b)
+}
+
+func cleanDefer() {
+	b := core.GetBatch()
+	defer core.PutBatch(b)
+	use(b)
+}
+
+func cleanHandoff(ch chan *core.Batch) {
+	b := core.GetBatch()
+	ch <- b
+}
+
+func cleanReturn() *core.Batch {
+	b := core.GetBatch()
+	return b
+}
+
+func cleanStore(dst []*core.Batch) []*core.Batch {
+	b := core.GetBatch()
+	return append(dst, b)
+}
+
+type holder struct{ b *core.Batch }
+
+func cleanFieldStore(h *holder) {
+	b := core.GetBatch()
+	h.b = b
+}
+
+func cleanClosure() func() {
+	b := core.GetBatch()
+	return func() { core.PutBatch(b) }
+}
+
+func cleanGo(f func(*core.Batch)) {
+	b := core.GetBatch()
+	go f(b)
+}
+
+// cleanProducer is the engine's shard-producer shape: each iteration's
+// batch is either handed to the consumer or returned to the pool on
+// every exit, including cancellation.
+func cleanProducer(ch chan *core.Batch, done <-chan struct{}) {
+	for {
+		b := core.GetBatch()
+		if !fill(b) {
+			core.PutBatch(b)
+			return
+		}
+		select {
+		case ch <- b:
+		case <-done:
+			core.PutBatch(b)
+			return
+		}
+	}
+}
+
+func suppressedLeak() {
+	b := core.GetBatch()
+	use(b)
+	//tpvet:ignore batchpool ownership is transferred through a side table the analyzer cannot see
+}

@@ -1,0 +1,129 @@
+// Fixture for the colness analyzer: every recognized guard idiom for
+// Batch columns and relation.Cols mirrors, plus the reads that must be
+// flagged when no guard dominates them.
+package a
+
+import (
+	"core"
+	"relation"
+)
+
+// --- flagged cases ---
+
+func unguarded(b *core.Batch) {
+	_ = b.Fid[0] // want `read of column b.Fid without a colness guard`
+}
+
+func wrongBranch(b *core.Batch) {
+	if b.Dict == nil {
+		_ = b.Prob[0] // want `read of column b.Prob without a colness guard`
+	} else {
+		_ = b.Prob[0]
+	}
+}
+
+func guardKilledByReassign(b *core.Batch) {
+	if b.Dict != nil {
+		b = core.GetBatch()
+		_ = b.Fid[0] // want `read of column b.Fid without a colness guard`
+	}
+}
+
+func guardKilledByNilDict(b *core.Batch) {
+	if b.Dict != nil {
+		b.Dict = nil
+		_ = b.Ts[0] // want `read of column b.Ts without a colness guard`
+	}
+}
+
+func closureDoesNotInherit(b *core.Batch) {
+	if b.Dict != nil {
+		f := func() {
+			_ = b.Fid[0] // want `read of column b.Fid without a colness guard`
+		}
+		f()
+	}
+}
+
+func colsUnguarded(r *relation.Relation) {
+	c := r.Cols()
+	_ = c.Fid[0] // want `read of column c.Fid without a colness guard`
+}
+
+// --- clean cases ---
+
+func guardedDict(b *core.Batch) {
+	if b.Dict != nil {
+		_ = b.Fid[0]
+	}
+}
+
+func guardedHasCols(b *core.Batch) {
+	if b.HasCols() {
+		_ = b.Ts[0]
+	}
+}
+
+func earlyExit(b *core.Batch) {
+	if b.Dict == nil {
+		return
+	}
+	_ = b.Te[0]
+}
+
+func conjunction(a, b *core.Batch) bool {
+	if a.Dict != nil && a.Dict == b.Dict {
+		return a.Fid[0] < b.Fid[0]
+	}
+	return false
+}
+
+func shortCircuit(b *core.Batch) bool {
+	return b.Dict != nil && b.Fid[0] > 0
+}
+
+func lenCapExempt(b *core.Batch) int {
+	return len(b.Fid) + cap(b.Ts) + len(b.Prob[:0])
+}
+
+func writeExempt(b *core.Batch) {
+	b.Fid = append(b.Fid[:0], 1)
+	b.Prob = b.Prob[:0]
+}
+
+func indexWriteExempt(b *core.Batch, i int) {
+	if b.Dict != nil {
+		b.Fid[i] = 7
+	}
+}
+
+func setDictGuards(b *core.Batch, d *core.Dict) {
+	b.Dict = d
+	_ = b.Fid[0]
+}
+
+func colsInitGuard(r *relation.Relation) {
+	if c := r.Cols(); c != nil {
+		_ = c.Prob[0]
+	}
+}
+
+func colsEarlyExit(r *relation.Relation) {
+	c := r.Cols()
+	if c == nil {
+		return
+	}
+	_ = c.Te[0]
+}
+
+func colsBuild() *relation.Cols {
+	c := &relation.Cols{}
+	c.Ts = append(c.Ts, 1)
+	_ = c.Ts[0]
+	return c
+}
+
+func suppressedRead(b *core.Batch) {
+	//tpvet:ignore colness caller contract: only reached from the columnar path
+	_ = b.Lam[0]
+}

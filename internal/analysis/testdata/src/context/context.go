@@ -1,0 +1,9 @@
+// Package context is the fixture stub for the standard context package.
+package context
+
+type Context interface {
+	Done() <-chan struct{}
+	Err() error
+}
+
+func Background() Context { return nil }

@@ -1,0 +1,85 @@
+// Fixture for the ctxdone analyzer: channel-send loops in context-aware
+// functions must race a cancellation receive.
+package a
+
+import "context"
+
+func produce(i int) int { return i }
+
+// --- flagged cases ---
+
+func bareSend(ctx context.Context, ch chan int) {
+	_ = ctx
+	for i := 0; i < 10; i++ {
+		ch <- produce(i) // want `channel send inside a loop without a cancellation case`
+	}
+}
+
+func rangeSend(ctx context.Context, ch chan int, vs []int) {
+	_ = ctx
+	for _, v := range vs {
+		ch <- v // want `channel send inside a loop without a cancellation case`
+	}
+}
+
+func selectNoCancel(ctx context.Context, ch, other chan int) {
+	_ = ctx
+	for {
+		select { // want `select sends in a loop but has no cancellation case`
+		case ch <- 1:
+		case v := <-other:
+			_ = v
+		}
+	}
+}
+
+// --- clean cases ---
+
+func selectOnDone(ctx context.Context, ch chan int) {
+	for i := 0; i < 10; i++ {
+		select {
+		case ch <- produce(i):
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func selectOnDoneChan(ctx context.Context, ch chan int) {
+	done := ctx.Done()
+	for {
+		select {
+		case ch <- 1:
+		case <-done:
+			return
+		}
+	}
+}
+
+func noContextInScope(ch chan int) {
+	for i := 0; i < 3; i++ {
+		ch <- i
+	}
+}
+
+func closureWithoutContext(ctx context.Context, ch chan int) {
+	_ = ctx
+	f := func() {
+		for i := 0; i < 3; i++ {
+			ch <- i
+		}
+	}
+	f()
+}
+
+func sendOutsideLoop(ctx context.Context, ch chan int) {
+	_ = ctx
+	ch <- 1
+}
+
+func suppressedSend(ctx context.Context, ch chan int) {
+	_ = ctx
+	for i := 0; i < 2; i++ {
+		ch <- i //tpvet:ignore ctxdone buffered handshake channel sized to the loop bound
+	}
+}

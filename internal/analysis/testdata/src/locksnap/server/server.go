@@ -1,0 +1,60 @@
+// Fixture for the locksnap analyzer: mutex-guarded catalog state is
+// touched under the lock, via helpers whose callers lock (Put→admit),
+// or on freshly built values — everything else is flagged.
+package server
+
+import "sync"
+
+type catalog struct {
+	mu    sync.RWMutex
+	rels  map[string]int
+	clock uint64
+}
+
+func newCatalog() *catalog {
+	c := &catalog{}
+	c.rels = make(map[string]int)
+	return c
+}
+
+func (c *catalog) Get(k string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.rels[k]
+}
+
+func (c *catalog) Put(k string, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.admit(k, v)
+}
+
+// admit is reached only with the catalog lock held.
+func (c *catalog) admit(k string, v int) {
+	c.rels[k] = v
+	c.clock++
+}
+
+// --- flagged cases ---
+
+func (c *catalog) Peek(k string) int {
+	return c.rels[k] // want `access of mutex-guarded field c.rels outside the lock`
+}
+
+func tick(c *catalog) {
+	c.clock++ // want `access of mutex-guarded field c.clock outside the lock`
+}
+
+// --- clean cases ---
+
+func (c *catalog) Len() int {
+	c.mu.RLock()
+	n := len(c.rels)
+	c.mu.RUnlock()
+	return n
+}
+
+func (c *catalog) Suppressed(k string) int {
+	//tpvet:ignore locksnap test-only accessor used before the server starts
+	return c.rels[k]
+}

@@ -1,0 +1,14 @@
+// Package relation is the fixture stub for internal/relation.
+package relation
+
+type Cols struct {
+	Fid  []int64
+	Ts   []int64
+	Te   []int64
+	Prob []float64
+	Lam  []int
+}
+
+type Relation struct{ cols *Cols }
+
+func (r *Relation) Cols() *Cols { return r.cols }

@@ -1,0 +1,9 @@
+// Package atomic is the fixture stub for sync/atomic.
+package atomic
+
+func AddUint64(addr *uint64, delta uint64) uint64 { *addr += delta; return *addr }
+func LoadUint64(addr *uint64) uint64              { return *addr }
+func StoreUint64(addr *uint64, val uint64)        { *addr = val }
+func AddInt64(addr *int64, delta int64) int64     { *addr += delta; return *addr }
+func LoadInt64(addr *int64) int64                 { return *addr }
+func StoreInt64(addr *int64, val int64)           { *addr = val }

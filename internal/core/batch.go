@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/tpset/tpset/internal/invariant"
 	"github.com/tpset/tpset/internal/keys"
 	"github.com/tpset/tpset/internal/lineage"
 	"github.com/tpset/tpset/internal/relation"
@@ -115,6 +116,26 @@ func (b *Batch) dropCols() {
 	b.Prob = b.ownProb[:0]
 	b.Lam = b.ownLam[:0]
 	b.Dict = nil
+}
+
+// checkInvariants asserts the batch representation contracts
+// (tpinvariants builds only): the capacity account covers the pooled
+// backing storage — the single account PutBatch trusts when it decides
+// a block may re-enter the pool — and the columnar view, when bound,
+// mirrors the payload length-for-length (a bound batch with ragged
+// columns would feed stale column rows to every packed-path consumer).
+func (b *Batch) checkInvariants(site string) {
+	invariant.Assertf(cap(b.own) >= b.capacity && cap(b.ownFid) >= b.capacity &&
+		cap(b.ownTs) >= b.capacity && cap(b.ownTe) >= b.capacity &&
+		cap(b.ownProb) >= b.capacity && cap(b.ownLam) >= b.capacity,
+		site, "batch capacity account %d exceeds backing storage (own %d, fid %d, ts %d, te %d, prob %d, lam %d)",
+		b.capacity, cap(b.own), cap(b.ownFid), cap(b.ownTs), cap(b.ownTe), cap(b.ownProb), cap(b.ownLam))
+	if b.Dict != nil {
+		n := len(b.Tuples)
+		invariant.Assertf(len(b.Fid) == n && len(b.Ts) == n && len(b.Te) == n && len(b.Prob) == n && len(b.Lam) == n,
+			site, "bound batch columns (%d/%d/%d/%d/%d) do not mirror %d payload rows",
+			len(b.Fid), len(b.Ts), len(b.Te), len(b.Prob), len(b.Lam), n)
+	}
 }
 
 // HasCols reports whether the columnar view is valid.
@@ -239,6 +260,10 @@ func GetBatch() *Batch {
 	batchPoolGets.Add(1)
 	b := batchPool.Get().(*Batch)
 	b.Reset()
+	if invariant.Enabled {
+		invariant.Assertf(b.capacity == BatchSize, "core.GetBatch",
+			"pooled batch has capacity %d, want %d", b.capacity, BatchSize)
+	}
 	return b
 }
 
@@ -253,6 +278,9 @@ func GetBatch() *Batch {
 // cap(own) alone predates the columns and would re-pool a batch whose
 // column arrays had been swapped out).
 func PutBatch(b *Batch) {
+	if invariant.Enabled {
+		b.checkInvariants("core.PutBatch")
+	}
 	if b.capacity != BatchSize {
 		batchPoolDrops.Add(1)
 		return

@@ -26,6 +26,27 @@ type Cursor interface {
 	Next() (relation.Tuple, bool)
 }
 
+// CursorReleaser is the optional teardown face of a cursor: operators
+// that buffer pooled batches across pulls (batch sources, filter
+// buffers) implement it so an abandoned plan can hand every block back
+// to the pool. Wrappers forward the release to their children.
+type CursorReleaser interface {
+	// ReleaseCursor returns pooled blocks buffered anywhere in the
+	// plan subtree. Idempotent, and a no-op on fully drained plans
+	// (draining already releases as it goes); the plan must not be
+	// pulled again afterwards.
+	ReleaseCursor()
+}
+
+// ReleaseCursor tears down a partially drained cursor plan via its
+// CursorReleaser face; cursors without buffered pooled state (scans,
+// pure tuple pipelines) need none and make this a no-op.
+func ReleaseCursor(c Cursor) {
+	if r, ok := c.(CursorReleaser); ok {
+		r.ReleaseCursor()
+	}
+}
+
 // ScanCursor streams a materialized relation that must already be in
 // canonical (fact, Ts) order — the leaf of a cursor plan. Tuples are
 // returned by value, so consumers never mutate the underlying relation
@@ -139,6 +160,11 @@ func newOpCursorSorted(op Op, r, s *relation.Relation, schema relation.Schema, o
 
 // Schema returns the output schema of the operation.
 func (c *OpCursor) Schema() relation.Schema { return c.schema }
+
+// ReleaseCursor tears down a partially drained operation: the advancer's
+// sources hand their buffered pooled blocks back and forward the release
+// down the child plans.
+func (c *OpCursor) ReleaseCursor() { c.a.release() }
 
 // Next produces the next output tuple: windows are drawn from the
 // advancer until one passes the operation's λ-filter, then finalized with

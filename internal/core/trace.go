@@ -62,6 +62,9 @@ func (t *tracedCore) publishSweep() {
 // tracedCursor wraps a tuple-only cursor.
 type tracedCursor struct{ tracedCore }
 
+// ReleaseCursor forwards plan teardown through the tracing wrapper.
+func (t *tracedCursor) ReleaseCursor() { ReleaseCursor(t.c) }
+
 func (t *tracedCursor) Next() (relation.Tuple, bool) {
 	start := time.Now()
 	tu, ok := t.c.Next()
@@ -79,6 +82,9 @@ type tracedBatchCursor struct {
 	tracedCore
 	bc BatchCursor
 }
+
+// ReleaseCursor forwards plan teardown through the tracing wrapper.
+func (t *tracedBatchCursor) ReleaseCursor() { ReleaseCursor(t.bc) }
 
 func (t *tracedBatchCursor) Next() (relation.Tuple, bool) {
 	start := time.Now()

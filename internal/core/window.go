@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/tpset/tpset/internal/interval"
+	"github.com/tpset/tpset/internal/invariant"
 	"github.com/tpset/tpset/internal/keys"
 	"github.com/tpset/tpset/internal/lineage"
 	"github.com/tpset/tpset/internal/relation"
@@ -69,6 +70,10 @@ type tupleSource interface {
 	peekKey() relation.FactKey
 	pop()
 	skipTo(k relation.FactKey)
+	// release returns buffered pooled blocks and forwards the teardown
+	// to the child plan — the source-level leg of Cursor teardown
+	// (CursorReleaser). No-op on slice-backed sources.
+	release()
 }
 
 // sliceSource streams a sorted tuple slice, with an optional columnar
@@ -121,6 +126,9 @@ func (s *sliceSource) skipTo(k relation.FactKey) {
 	s.i += relation.SkipToKey(s.ts[s.i:], k)
 }
 
+// release is a no-op: slice sources alias relation storage.
+func (s *sliceSource) release() {}
+
 // cursorSource streams a Cursor through a one-tuple buffer. The key of
 // the buffered tuple is computed once per tuple and cached until pop —
 // the advancer reads it up to three times per window.
@@ -155,6 +163,12 @@ func (s *cursorSource) peekKey() relation.FactKey {
 }
 
 func (s *cursorSource) pop() { s.has, s.keyed = false, false }
+
+// release holds no pooled blocks itself; the child plan might.
+func (s *cursorSource) release() {
+	s.done = true
+	ReleaseCursor(s.c)
+}
 
 // skipTo on a plain cursor can only pop tuple-by-tuple — the child
 // stream is computed, so there is nothing to gallop over.
@@ -208,6 +222,19 @@ func (s *batchSource) peekKey() relation.FactKey {
 }
 
 func (s *batchSource) pop() { s.i++ }
+
+// release hands the buffered block back to the pool (the drain paths
+// swap in an empty placeholder after their own PutBatch, so a release
+// after exhaustion puts only the zero batch, which the pool drops) and
+// forwards the teardown to the child plan.
+func (s *batchSource) release() {
+	if !s.done {
+		s.done = true
+		PutBatch(s.b)
+		s.b = &Batch{}
+	}
+	ReleaseCursor(s.c)
+}
 
 // skipTo discards the remainder of the current batch by binary search —
 // a packed-int64 gallop when the batch carries columns — then, when the
@@ -294,6 +321,12 @@ type Advancer struct {
 	windows, gallops int64
 }
 
+// release tears down both sources — the OpCursor leg of plan teardown.
+func (a *Advancer) release() {
+	a.r.release()
+	a.s.release()
+}
+
 // Windows returns the number of candidate windows produced so far.
 func (a *Advancer) Windows() int64 { return a.windows }
 
@@ -306,6 +339,15 @@ func (a *Advancer) Gallops() int64 { return a.gallops }
 // carry columnar projections (Relation.BuildCols), keys and run-skip
 // gallops run over the packed fid columns.
 func NewAdvancer(r, s *relation.Relation) *Advancer {
+	if invariant.Enabled {
+		// The sweep's correctness (and every gallop) rides on the sort
+		// precondition; the packed fast path additionally rides on the
+		// projections mirroring the rows.
+		invariant.CheckSorted(r, "core.NewAdvancer")
+		invariant.CheckSorted(s, "core.NewAdvancer")
+		invariant.CheckColsMirror(r, "core.NewAdvancer")
+		invariant.CheckColsMirror(s, "core.NewAdvancer")
+	}
 	return &Advancer{r: newSliceSource(r), s: newSliceSource(s), prevWinTe: -1}
 }
 

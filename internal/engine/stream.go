@@ -105,11 +105,19 @@ func (c *StreamCursor) NextBatch(b *core.Batch) bool {
 	return core.FillBatch(b, c.Next)
 }
 
-// Close releases the plan's resources (shard producer goroutines). After
-// Close, Next must not be called again.
+// Close releases the plan's resources: shard producer goroutines and —
+// on a partially drained batched plan — every pooled block still in
+// flight (the adapter's current block, the merge's per-lane heads, and
+// blocks the producers had queued on the shard channels). After Close,
+// Next must not be called again.
 func (c *StreamCursor) Close() {
 	if c.stop != nil {
 		c.stop()
+	}
+	c.done = true
+	if c.cur != nil {
+		core.PutBatch(c.cur)
+		c.cur = nil
 	}
 }
 
@@ -151,7 +159,14 @@ func (e *Engine) CursorCtx(ctx context.Context, n query.Node, db map[string]*rel
 		if err != nil {
 			return nil, err
 		}
-		return &StreamCursor{schema: c.Schema(), next: c.Next, nextBatch: core.AsBatchCursor(c).NextBatch}, nil
+		return &StreamCursor{
+			schema:    c.Schema(),
+			next:      c.Next,
+			nextBatch: core.AsBatchCursor(c).NextBatch,
+			// Close on an abandoned sequential plan releases the pooled
+			// blocks its operator buffers still hold.
+			stop: func() { core.ReleaseCursor(c) },
+		}, nil
 	}
 
 	if opts.Validate {
@@ -262,6 +277,7 @@ func (e *Engine) CursorCtx(ctx context.Context, n query.Node, db map[string]*rel
 			chans[i] = ch
 			go func(i int, c core.Cursor, sdb map[string]*relation.Relation, ch chan relation.Tuple) {
 				defer close(ch)
+				defer core.ReleaseCursor(c) // symmetric with the batched path
 				sp := shardSpans[i]
 				start := time.Now()
 				sent := 0
@@ -324,6 +340,12 @@ func (e *Engine) CursorCtx(ctx context.Context, n query.Node, db map[string]*rel
 		chans[i] = ch
 		go func(i int, c core.BatchCursor, sdb map[string]*relation.Relation, ch chan *core.Batch) {
 			defer close(ch)
+			// On every exit — drained, cancelled, closed — tear the
+			// shard plan down so operator-buffered pooled blocks go
+			// back. Registered after close(ch), so it runs before it:
+			// Close's channel drain observing the close also sees the
+			// plan fully released.
+			defer core.ReleaseCursor(c)
 			sp := shardSpans[i]
 			start := time.Now()
 			sent := 0
@@ -354,6 +376,19 @@ func (e *Engine) CursorCtx(ctx context.Context, n query.Node, db map[string]*rel
 			// sweep outputs. Later blocks are full-size pooled ones.
 			first := true
 			for {
+				// Bail out before acquiring the next block: once the
+				// consumer closes the stream, a select between an
+				// enabled send and a closed done channel picks
+				// randomly, so without this check a producer could
+				// keep winning the send race against Close's channel
+				// drain and sweep the rest of its shard for nothing.
+				select {
+				case <-done:
+					return
+				case <-ctxDone:
+					return
+				default:
+				}
 				var b *core.Batch
 				if first {
 					b, first = core.NewBatch(rampBatchSize), false
@@ -387,6 +422,14 @@ func (e *Engine) CursorCtx(ctx context.Context, n query.Node, db map[string]*rel
 		}(i, core.AsBatchCursor(curs[i]), shardDBs[i], ch)
 	}
 	m := &mergeBatchStream{chans: chans, sp: rootSp}
+	// Close on the batched plan also reclaims pooled blocks: the ones
+	// the merge holds as lane heads and the ones the producers queued
+	// or manage to send before observing done. The producers close
+	// their channels on exit, which bounds the drain.
+	stopBatch := func() {
+		stop()
+		m.release()
+	}
 	nextBatch := m.nextBatch
 	if rootSp != nil {
 		nextBatch = func(b *core.Batch) bool {
@@ -400,7 +443,7 @@ func (e *Engine) CursorCtx(ctx context.Context, n query.Node, db map[string]*rel
 			return ok
 		}
 	}
-	return &StreamCursor{schema: curs[0].Schema(), nextBatch: nextBatch, stop: stop}, nil
+	return &StreamCursor{schema: curs[0].Schema(), nextBatch: nextBatch, stop: stopBatch}, nil
 }
 
 // logShardDrained emits the per-shard completion record of a producer
@@ -513,6 +556,27 @@ func (m *mergeBatchStream) drop(i int) {
 	m.chans = m.chans[:last]
 	m.bs = m.bs[:last]
 	m.is = m.is[:last]
+}
+
+// release returns every block the stream still owns to the pool after
+// the producers have been told to stop: the per-lane head blocks, then
+// whatever the producers had buffered on the shard channels (plus the
+// few sends that race the shutdown — the drain runs until each producer
+// closes its channel, so nothing slips through). Fully drained lanes
+// were already dropped and their channels exhausted, so a release after
+// a complete drain is a no-op, keeping Close idempotent either way.
+func (m *mergeBatchStream) release() {
+	for _, b := range m.bs {
+		core.PutBatch(b)
+	}
+	m.bs = nil
+	m.is = nil
+	for _, ch := range m.chans {
+		for b := range ch {
+			core.PutBatch(b)
+		}
+	}
+	m.chans = nil
 }
 
 // advance refills lane i after its block is consumed; the lane is

@@ -127,6 +127,51 @@ func TestStreamCursorEarlyClose(t *testing.T) {
 	cur.Close()
 }
 
+// TestStreamCursorClosePoolBalance pins the teardown side of the batch
+// pool's ownership discipline: abandoning a partitioned batched stream
+// mid-drain must return every pooled block to the pool — the adapter's
+// current block, the merge's lane heads, the blocks queued on shard
+// channels, and the producers' in-flight blocks. Close drains until the
+// producers close their channels, so the pool account must balance the
+// moment it returns: the gets taken since the cursor was built all come
+// back as puts (full-capacity blocks) — ramp blocks enter as news-free
+// NewBatch allocations and leave through the drop counter, never
+// through gets.
+func TestStreamCursorClosePoolBalance(t *testing.T) {
+	db := streamRandomDB(rand.New(rand.NewSource(54)), 2, 6000, 64)
+	tree := query.MustParse("(r0 | r1) & r0")
+	e := New(Config{Workers: 4, MinPartitionSize: 8})
+
+	for _, pull := range []string{"tuple", "batch", "none"} {
+		gets0, puts0, _, _ := core.BatchPoolStats()
+		cur, err := e.Cursor(tree, db, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch pull {
+		case "tuple":
+			for i := 0; i < 5; i++ {
+				if _, ok := cur.Next(); !ok {
+					t.Fatal("stream ended before 5 tuples")
+				}
+			}
+		case "batch":
+			b := core.GetBatch()
+			if !cur.NextBatch(b) {
+				t.Fatal("stream produced no batch")
+			}
+			core.PutBatch(b)
+		}
+		cur.Close()
+		cur.Close() // idempotent, including the pool drain
+		gets1, puts1, _, _ := core.BatchPoolStats()
+		if gets1-gets0 != puts1-puts0 {
+			t.Fatalf("pull=%s: pool unbalanced after Close: %d gets vs %d puts",
+				pull, gets1-gets0, puts1-puts0)
+		}
+	}
+}
+
 // TestStreamCursorBuildErrors pins synchronous plan-error surfacing on
 // the partitioned path.
 func TestStreamCursorBuildErrors(t *testing.T) {

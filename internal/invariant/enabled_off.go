@@ -1,0 +1,9 @@
+//go:build !tpinvariants
+
+package invariant
+
+// Enabled reports (as a compile-time constant) whether the assertion
+// layer is compiled in. Constant false lets the compiler delete every
+// check body and every `if invariant.Enabled`-guarded call site from
+// release builds.
+const Enabled = false

@@ -1,0 +1,7 @@
+//go:build tpinvariants
+
+package invariant
+
+// Enabled reports (as a compile-time constant) whether the assertion
+// layer is compiled in. This file provides the tagged build's value.
+const Enabled = true

@@ -1,0 +1,93 @@
+// Package invariant is the build-tag assertion layer: machine-checked
+// forms of the execution stack's algorithmic preconditions (Algorithms
+// 1–4 assume duplicate-free inputs sorted by (fact, Ts)) and of the SoA
+// representation contracts (a columnar projection mirrors its rows
+// element-for-element; a pooled batch's capacity account matches its
+// backing storage).
+//
+// The checks are compiled in only under the tpinvariants build tag:
+//
+//	go test -tags tpinvariants ./...
+//
+// Without the tag, Enabled is the constant false, every helper body is
+// `if !Enabled { return }`-guarded, and the compiler eliminates the
+// checks entirely — callers on hot paths additionally guard the call
+// site with `if invariant.Enabled` so even argument evaluation
+// disappears from release builds. A violated invariant panics with a
+// diagnostic naming the check site: these are programming errors, not
+// runtime conditions, and the tagged CI lane exists to catch them the
+// moment a change breaks an assumption some other layer relies on.
+package invariant
+
+import (
+	"fmt"
+
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// violate panics with a uniform diagnostic. site names the checkpoint
+// (e.g. "core.NewAdvancer(r)"), so a tagged-test failure points at the
+// layer whose precondition broke, not just the data.
+func violate(site, format string, args ...any) {
+	panic(fmt.Sprintf("invariant violation at %s: %s", site, fmt.Sprintf(format, args...)))
+}
+
+// Assertf panics with the formatted diagnostic unless cond holds.
+// No-op (and fully eliminated) without the tpinvariants tag.
+func Assertf(cond bool, site, format string, args ...any) {
+	if !Enabled || cond {
+		return
+	}
+	violate(site, format, args...)
+}
+
+// CheckSorted asserts the canonical (fact, Ts, Te) order — the sort
+// precondition of the Algorithm 1 sweep and of every merge.
+func CheckSorted(r *relation.Relation, site string) {
+	if !Enabled || r == nil {
+		return
+	}
+	if !r.IsSorted() {
+		violate(site, "relation %q (%d tuples) is not in canonical (fact, Ts) order", r.Schema.Name, r.Len())
+	}
+}
+
+// CheckDuplicateFree asserts the duplicate-free precondition: no fact
+// carries overlapping or adjacent intervals (Definition 1 well-
+// formedness, assumed by Algorithms 2–4).
+func CheckDuplicateFree(r *relation.Relation, site string) {
+	if !Enabled || r == nil {
+		return
+	}
+	if err := r.ValidateDuplicateFree(); err != nil {
+		violate(site, "relation %q is not duplicate-free: %v", r.Schema.Name, err)
+	}
+}
+
+// CheckColsMirror asserts the SoA contract on a relation: a cached
+// columnar projection mirrors the row payload element-for-element.
+func CheckColsMirror(r *relation.Relation, site string) {
+	if !Enabled || r == nil {
+		return
+	}
+	c := r.Cols()
+	if c == nil {
+		return // no valid projection: nothing to mirror
+	}
+	n := r.Len()
+	if len(c.Fid) != n || len(c.Ts) != n || len(c.Te) != n || len(c.Prob) != n || len(c.Lam) != n {
+		violate(site, "relation %q: column lengths (%d/%d/%d/%d/%d) do not mirror %d rows",
+			r.Schema.Name, len(c.Fid), len(c.Ts), len(c.Te), len(c.Prob), len(c.Lam), n)
+	}
+	dict := r.Dict()
+	for i := 0; i < n; i++ {
+		t := &r.Tuples[i]
+		if c.Ts[i] != t.T.Ts || c.Te[i] != t.T.Te || c.Prob[i] != t.Prob || c.Lam[i] != t.Lineage {
+			violate(site, "relation %q: column row %d diverges from tuple row %d", r.Schema.Name, i, i)
+		}
+		ck, tk := relation.KeyIn(dict, c.Fid[i]), t.FactKeyRO()
+		if ck.Less(tk) || tk.Less(ck) {
+			violate(site, "relation %q: fid column row %d does not mirror the tuple's fact", r.Schema.Name, i)
+		}
+	}
+}

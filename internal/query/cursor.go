@@ -176,6 +176,18 @@ type selectCursor struct {
 
 func (c *selectCursor) Schema() relation.Schema { return c.in.Schema() }
 
+// ReleaseCursor hands the buffered input block back to the pool (the
+// drain path already swapped in an empty placeholder, which the pool
+// drops) and forwards the teardown to the input plan.
+func (c *selectCursor) ReleaseCursor() {
+	if c.buf != nil && !c.done {
+		core.PutBatch(c.buf)
+		c.buf = &core.Batch{}
+	}
+	c.done = true
+	core.ReleaseCursor(c.in)
+}
+
 func (c *selectCursor) Next() (relation.Tuple, bool) {
 	for {
 		t, ok := c.nextInput()

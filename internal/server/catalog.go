@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/tpset/tpset/internal/invariant"
 	"github.com/tpset/tpset/internal/keys"
 	"github.com/tpset/tpset/internal/relation"
 )
@@ -85,6 +86,16 @@ func (c *Catalog) Put(name string, rel *relation.Relation) (version uint64, exis
 // is the single point where the scanned leaves gain their columnar view
 // (Bind invalidates any previous projection).
 func (c *Catalog) admit(name string, rel *relation.Relation) {
+	if invariant.Enabled {
+		// Tagged builds re-prove the admission contract the mutation
+		// paths establish (sorted, duplicate-free — the Algorithm 1–4
+		// preconditions every AssumeSorted plan over the catalog leans
+		// on) and, after the bind below, the freshly built projection's
+		// row mirror.
+		invariant.CheckSorted(rel, "server.Catalog.admit")
+		invariant.CheckDuplicateFree(rel, "server.Catalog.admit")
+		defer invariant.CheckColsMirror(rel, "server.Catalog.admit")
+	}
 	relKeys := factKeys(rel, nil)
 	if c.dict != nil && c.dict.Contains(relKeys) {
 		rel.Bind(c.dict)

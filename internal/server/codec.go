@@ -92,9 +92,14 @@ func EncodeTupleInto(tj *TupleJSON, t *relation.Tuple, probs map[string]float64)
 // — the NDJSON stream's read side when the execution stack delivers
 // columnar blocks. The fact values still come from the payload row (the
 // wire format ships strings), and the encoded bytes are identical to
-// EncodeTupleInto over the same row. The batch must have columns
-// (Batch.HasCols); tj/probs reuse rules are as for EncodeTupleInto.
+// EncodeTupleInto over the same row. A batch without columns
+// (Batch.HasCols false) falls back to the row path; tj/probs reuse
+// rules are as for EncodeTupleInto.
 func EncodeBatchInto(tj *TupleJSON, b *core.Batch, i int, probs map[string]float64) {
+	if b.Dict == nil {
+		EncodeTupleInto(tj, &b.Tuples[i], probs)
+		return
+	}
 	lam := b.Lam[i]
 	tj.Fact = []string(b.Tuples[i].Fact)
 	tj.Lineage = lam.String()
