@@ -6,6 +6,7 @@
 //
 //	tpserve -addr :8080 -rel a=bought.csv -rel c=stock.csv
 //	tpserve -addr :8080 -gen r:100000:1000 -gen s:100000:1000
+//	tpserve -addr :8080 -data-dir /var/lib/tpset
 //
 // The catalog is seeded from CSV files (-rel name=path.csv, repeatable)
 // and/or generated synthetic relations (-gen name:tuples:facts,
@@ -18,9 +19,12 @@
 //	GET    /metrics              counters + phase latency histograms
 //	                             (JSON; Prometheus text on Accept: text/plain)
 //	GET    /relations            relation names and versions
-//	PUT    /relations/{name}     load or replace a relation (JSON)
+//	PUT    /relations/{name}     load or replace a relation (JSON);
+//	                             with -data-dir, a 2xx means the admission
+//	                             is WAL-fsynced: it survives kill -9
 //	GET    /relations/{name}     dump a relation (JSON)
-//	DELETE /relations/{name}     drop a relation
+//	DELETE /relations/{name}     drop a relation (with -data-dir, durable
+//	                             on 2xx like PUT)
 //	GET    /stats/{name}         Table IV statistics
 //	POST   /query                {"query":"c - (a | b)", "workers":8}
 //	POST   /query/stream         same body; NDJSON stream (meta line,
@@ -29,6 +33,18 @@
 //	POST   /query/explain        same body; runs the plan and returns the
 //	                             per-operator trace, no result payload
 //
+// Durability (-data-dir): the directory holds one memory-mappable
+// columnar segment per relation plus a write-ahead log. Every mutation
+// is appended to the WAL and fsynced before its HTTP response — the 2xx
+// is the durability acknowledgement — while segment rewrites are
+// batched and applied on a size threshold, on graceful shutdown
+// (SIGINT/SIGTERM drains in-flight requests, then applies and fsyncs
+// pending WAL records), and on startup replay after a crash. A restart
+// against the same -data-dir memory-maps the segments and serves
+// bit-identical results without re-ingesting; CSV/-gen seeding then
+// merely re-admits (and persists) the seed relations. Without -data-dir
+// the catalog is memory-only and this contract does not apply.
+//
 // Query bodies accept "trace":true to get a per-operator execution
 // trace in the response envelope (stream trailer for /query/stream).
 // -log-level enables structured JSON request logs; -debug-addr serves
@@ -36,17 +52,23 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux (-debug-addr)
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"github.com/tpset/tpset/internal/csvio"
 	"github.com/tpset/tpset/internal/datagen"
+	"github.com/tpset/tpset/internal/segment"
 	"github.com/tpset/tpset/internal/server"
 )
 
@@ -67,6 +89,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "generator seed (-gen)")
 		logLevel  = flag.String("log-level", "", "enable JSON request logs to stderr at this level: debug|info|warn|error (empty disables)")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof debug endpoints on this address (empty disables)")
+		dataDir   = flag.String("data-dir", "", "durable segment directory: restore the catalog from it at startup and WAL every mutation (empty = memory-only)")
 	)
 	flag.Parse()
 
@@ -83,6 +106,19 @@ func main() {
 		logger = slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 	}
 	srv := server.New(server.Config{Workers: *workers, CacheSize: cacheSize, Logger: logger})
+
+	var store *segment.Store
+	if *dataDir != "" {
+		var err error
+		store, err = segment.OpenStore(*dataDir)
+		if err != nil {
+			fatalf("opening data dir %s: %v", *dataDir, err)
+		}
+		if err := srv.AttachStore(store); err != nil {
+			fatalf("restoring from %s: %v", *dataDir, err)
+		}
+		fmt.Fprintf(os.Stderr, "tpserve: restored %d segment(s) from %s\n", store.SegmentCount(), *dataDir)
+	}
 
 	if *debugAddr != "" {
 		// The pprof import registered its handlers on DefaultServeMux; the
@@ -132,8 +168,33 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "tpserve: listening on %s (%d relations, cache %d entries)\n",
 		*addr, len(srv.Relations()), *cache)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests and —
+	// with a data dir — apply and fsync pending WAL records so a clean
+	// stop leaves no replay work for the next start. Acknowledged
+	// mutations are durable either way (WAL fsync precedes the 2xx);
+	// the flush only converges segments with the WAL.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
 		fatalf("%v", err)
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintf(os.Stderr, "tpserve: shutting down\n")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "tpserve: shutdown: %v\n", err)
+		}
+		if store != nil {
+			if err := store.Close(); err != nil {
+				fatalf("flushing data dir: %v", err)
+			}
+		}
 	}
 }
 

@@ -102,7 +102,7 @@ func TestExperimentsRegistryComplete(t *testing.T) {
 		"table2", "fig7a", "fig7b", "fig7c", "fig8", "table3", "fig9a",
 		"fig9b", "table4", "fig10a", "fig10b", "fig10c", "fig11a", "fig11b", "fig11c",
 		"par-size", "par-workers", "serve-cache", "stream-vs-materialize",
-		"intern-vs-string", "batch-vs-tuple", "soa-vs-aos", "trace-overhead",
+		"intern-vs-string", "batch-vs-tuple", "soa-vs-aos", "trace-overhead", "segment-vs-heap",
 	}
 	got := Names()
 	if strings.Join(got, ",") != strings.Join(wantNames, ",") {

@@ -71,6 +71,7 @@ func Experiments() []Experiment {
 		{"batch-vs-tuple", "Batched vs tuple-at-a-time execution: engine stream + NDJSON serve pipelines", BatchVsTuple},
 		{"soa-vs-aos", "Structure-of-arrays vs tuple-struct batches: engine stream + NDJSON serve pipelines", SoAVsAoS},
 		{"trace-overhead", "Execution-trace instrumentation overhead: drain with tracing off vs on", TraceOverhead},
+		{"segment-vs-heap", "Durable mmap segment store vs heap catalog: cold start + steady-state drain", SegmentVsHeap},
 	}
 }
 

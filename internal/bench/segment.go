@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/csvio"
+	"github.com/tpset/tpset/internal/datagen"
+	"github.com/tpset/tpset/internal/engine"
+	"github.com/tpset/tpset/internal/query"
+	"github.com/tpset/tpset/internal/relation"
+	"github.com/tpset/tpset/internal/segment"
+	"github.com/tpset/tpset/internal/server"
+)
+
+// The segment-vs-heap experiment quantifies the durable segment tier on
+// its two claims:
+//
+//   - cold start: a process restart against a populated -data-dir
+//     memory-maps the columnar segments (open + checksum + pointer
+//     fixup) instead of re-ingesting CSV (parse + intern + sort +
+//     validate + bind + rebuild + re-persist — the re-ingesting server
+//     must reach the same durable state, so it WALs and fsyncs its
+//     admissions like any tpserve -data-dir process). Measured
+//     end-to-end as "empty server → first ∩Tp answer" with a point
+//     query, so the number isolates time-to-readiness rather than
+//     re-measuring the drain the steady-state series cover; the mmap
+//     path must win by an order of magnitude — the ISSUE 9 acceptance
+//     gate;
+//   - steady state: once the catalog is warm, draining mmap-backed
+//     columns must cost the same as draining heap-built ones — the
+//     columns alias the mapping byte-for-byte, so the advancer's inner
+//     loops cannot tell the difference. The CI gate holds mmap to
+//     ≤ heap × 1.15 summed over the Table III overlap sweep.
+//
+// The cold series answer the same point query and the steady series the
+// same full ∩Tp over identically generated inputs, so output
+// cardinalities must agree pairwise (CI-gated; the server-level
+// crossval suite pins full bit-identity).
+
+// coldQuery intersects one shared fact's chains: datagen.Pair
+// distributes tuples round-robin over facts f000000..f00NNNN in both
+// relations, so the answer is non-trivial on every sweep point while
+// costing microseconds — the measurement is dominated by how the
+// catalog came up, not by the drain.
+const coldQuery = "sigma[Fact='f000000'](r) & sigma[Fact='f000000'](s)"
+
+// coldStart measures one "process start to first answer" run: seed is
+// called on a fresh server (CSV ingest or store attach), then the point
+// query is evaluated once, cache cold.
+func coldStart(seed func(*server.Server)) (time.Duration, int) {
+	start := time.Now()
+	srv := server.New(server.Config{CacheSize: -1})
+	seed(srv)
+	resp, err := srv.RunQuery(server.QueryRequest{Query: coldQuery, Workers: 1, NoCache: true})
+	if err != nil {
+		panic(fmt.Sprintf("bench: segment-vs-heap: cold query: %v", err))
+	}
+	return time.Since(start), len(resp.Result.Tuples)
+}
+
+// drainOnce drains one sequential ∩Tp engine stream over db.
+func drainOnce(node query.Node, db map[string]*relation.Relation) (time.Duration, int) {
+	start := time.Now()
+	cur, err := engine.New(engine.Config{Workers: 1}).Cursor(node, db, core.Options{AssumeSorted: true, LazyProb: true})
+	if err != nil {
+		panic(fmt.Sprintf("bench: segment-vs-heap: %v", err))
+	}
+	defer cur.Close()
+	count := 0
+	b := core.GetBatch()
+	for cur.NextBatch(b) {
+		count += len(b.Tuples)
+	}
+	core.PutBatch(b)
+	return time.Since(start), count
+}
+
+// bestOf runs f reps times and keeps the fastest (duration, count). Each
+// rep starts after a forced collection so one rep's garbage is not billed
+// to the next — a real cold start begins with a fresh heap.
+func bestOf(reps int, f func() (time.Duration, int)) (time.Duration, int) {
+	var bd time.Duration
+	var bc int
+	for i := 0; i < reps; i++ {
+		runtime.GC()
+		d, c := f()
+		if i == 0 || d < bd {
+			bd, bc = d, c
+		}
+	}
+	return bd, bc
+}
+
+// SegmentVsHeap sweeps the Table III overlapping-factor configurations
+// at fixed size: per point, cold-start latency from CSV vs from mmap
+// segments, and steady-state drain over heap-built vs mmap-restored
+// columns.
+func SegmentVsHeap(cfg Config) Result {
+	n := cfg.scaled(1000000)
+	facts := internFacts(n)
+	node := query.MustParse("r & s")
+
+	names := []string{"cold-csv", "cold-mmap", "heap", "mmap"}
+	series := make([]Series, len(names))
+	for i, name := range names {
+		series[i].Approach = name
+	}
+
+	note := ""
+	for _, row := range datagen.TableIII {
+		label := fmt.Sprintf("%g", row.OverlapFactor)
+		r, s := datagen.Pair(datagen.PairConfig{
+			NumTuples: n, NumFacts: facts,
+			MaxLenR: row.MaxLenR, MaxLenS: row.MaxLenS,
+			MaxGap: 3, Seed: cfg.Seed,
+		})
+		relation.InternAll(r, s)
+		r.Sort()
+		s.Sort()
+		r.BuildCols()
+		s.BuildCols()
+		heapDB := map[string]*relation.Relation{"r": r, "s": s}
+
+		// Outside the timed sections: persist both forms the cold paths
+		// restore from.
+		dir, err := os.MkdirTemp("", "tpseg-bench-")
+		if err != nil {
+			panic(fmt.Sprintf("bench: segment-vs-heap: %v", err))
+		}
+		dataDir := filepath.Join(dir, "data")
+		st, err := segment.OpenStore(dataDir)
+		if err == nil {
+			if err = st.Put("r", r, nil); err == nil {
+				if err = st.Put("s", s, nil); err == nil {
+					err = st.Close()
+				}
+			}
+		}
+		if err != nil {
+			panic(fmt.Sprintf("bench: segment-vs-heap: writing store: %v", err))
+		}
+		rCSV, sCSV := filepath.Join(dir, "r.csv"), filepath.Join(dir, "s.csv")
+		if err := csvio.WriteFile(rCSV, r); err != nil {
+			panic(fmt.Sprintf("bench: segment-vs-heap: writing csv: %v", err))
+		}
+		if err := csvio.WriteFile(sCSV, s); err != nil {
+			panic(fmt.Sprintf("bench: segment-vs-heap: writing csv: %v", err))
+		}
+
+		csvRun := 0
+		runners := []func() (time.Duration, int){
+			func() (time.Duration, int) { // cold-csv: tpserve -data-dir -rel re-ingest
+				csvRun++
+				freshDir := filepath.Join(dir, fmt.Sprintf("reingest%d", csvRun))
+				var cst *segment.Store
+				d, out := coldStart(func(srv *server.Server) {
+					var err error
+					cst, err = segment.OpenStore(freshDir)
+					if err == nil {
+						err = srv.AttachStore(cst)
+					}
+					if err != nil {
+						panic(fmt.Sprintf("bench: segment-vs-heap: csv ingest: %v", err))
+					}
+					for _, name := range []string{"r", "s"} {
+						path := rCSV
+						if name == "s" {
+							path = sCSV
+						}
+						rel, err := csvio.ReadFile(path, name)
+						if err != nil {
+							panic(fmt.Sprintf("bench: segment-vs-heap: csv ingest: %v", err))
+						}
+						if _, err := srv.Load(name, rel); err != nil {
+							panic(fmt.Sprintf("bench: segment-vs-heap: csv ingest: %v", err))
+						}
+					}
+				})
+				if err := cst.Close(); err != nil {
+					panic(fmt.Sprintf("bench: segment-vs-heap: %v", err))
+				}
+				if err := os.RemoveAll(freshDir); err != nil {
+					panic(fmt.Sprintf("bench: segment-vs-heap: %v", err))
+				}
+				return d, out
+			},
+			func() (time.Duration, int) { // cold-mmap: the tpserve -data-dir startup
+				var st *segment.Store
+				d, out := coldStart(func(srv *server.Server) {
+					var err error
+					st, err = segment.OpenStore(dataDir)
+					if err == nil {
+						err = srv.AttachStore(st)
+					}
+					if err != nil {
+						panic(fmt.Sprintf("bench: segment-vs-heap: mmap restore: %v", err))
+					}
+				})
+				if err := st.Close(); err != nil {
+					panic(fmt.Sprintf("bench: segment-vs-heap: %v", err))
+				}
+				return d, out
+			},
+			func() (time.Duration, int) { // heap steady-state drain
+				return drainOnce(node, heapDB)
+			},
+			nil, // mmap steady-state drain, set up below
+		}
+		// The mmap drain runs over one restored catalog, reopened outside
+		// the timed section; the store stays open across the reps so the
+		// mapping is live, exactly like a serving process.
+		mst, err := segment.OpenStore(dataDir)
+		if err != nil {
+			panic(fmt.Sprintf("bench: segment-vs-heap: %v", err))
+		}
+		mrels, _, err := mst.Restore()
+		if err != nil {
+			panic(fmt.Sprintf("bench: segment-vs-heap: %v", err))
+		}
+		runners[3] = func() (time.Duration, int) {
+			return drainOnce(node, mrels)
+		}
+
+		const reps = 3
+		for i, run := range runners {
+			if over(series[i], cfg.Budget) {
+				series[i].Cells = append(series[i].Cells, Cell{X: row.OverlapFactor, Label: label, Skipped: true})
+				continue
+			}
+			d, out := bestOf(reps, run)
+			series[i].Cells = append(series[i].Cells, Cell{
+				X: row.OverlapFactor, Label: label, Duration: d, Output: out,
+			})
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "  %-10s %-6s %12s  out=%d\n",
+					names[i], label, d.Round(time.Microsecond), out)
+			}
+		}
+		if err := mst.Close(); err != nil {
+			panic(fmt.Sprintf("bench: segment-vs-heap: %v", err))
+		}
+		if err := os.RemoveAll(dir); err != nil {
+			panic(fmt.Sprintf("bench: segment-vs-heap: %v", err))
+		}
+
+		cc := series[0].Cells[len(series[0].Cells)-1]
+		cm := series[1].Cells[len(series[1].Cells)-1]
+		hc := series[2].Cells[len(series[2].Cells)-1]
+		mc := series[3].Cells[len(series[3].Cells)-1]
+		if !cc.Skipped && !cm.Skipped && cm.Duration > 0 && !hc.Skipped && !mc.Skipped && hc.Duration > 0 {
+			note += fmt.Sprintf("%s: cold %.1fx drain %.2fx; ", label,
+				float64(cc.Duration)/float64(cm.Duration),
+				float64(hc.Duration)/float64(mc.Duration))
+		}
+	}
+
+	return Result{
+		Name:     "segment-vs-heap",
+		Title:    "mmap segment store vs heap catalog: cold start (CSV re-ingest vs mmap open) + steady-state ∩Tp drain",
+		XLabel:   "ovl factor",
+		Series:   series,
+		Scale:    cfg.Scale,
+		Footnote: fmt.Sprintf("%d tuples/relation, %d facts, workers=1, best of 3; cold-csv-vs-mmap and heap-vs-mmap ratios: %s", n, facts, note),
+	}
+}

@@ -1,7 +1,9 @@
 package keys
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -42,6 +44,24 @@ func BuildDict(ks []string) *Dict {
 	}
 	d := &Dict{ids: make(map[string]FactID, len(out)), keys: out}
 	for i, k := range out {
+		d.ids[k] = FactID(i)
+	}
+	return d
+}
+
+// FromSorted returns the dictionary over ks, which must be strictly
+// ascending (sorted, duplicate-free). The slice is retained as the
+// rank→key table, so the caller must not modify it afterwards. This is
+// the deserialization entry point: a segment file stores the key table
+// in rank order, so rebuilding its dictionary needs no re-sort — ids
+// are the positions the keys already occupy. It panics on out-of-order
+// input: a caller that cannot guarantee the order must use BuildDict.
+func FromSorted(ks []string) *Dict {
+	d := &Dict{ids: make(map[string]FactID, len(ks)), keys: ks}
+	for i, k := range ks {
+		if i > 0 && ks[i-1] >= k {
+			panic(fmt.Sprintf("keys: FromSorted input not strictly ascending at index %d", i))
+		}
 		d.ids[k] = FactID(i)
 	}
 	return d
@@ -110,6 +130,8 @@ func NewInterner() *Interner {
 }
 
 // Intern returns the id of name, assigning the next id on first sight.
+// The arena owns its names: a novel name is copied in, so callers may
+// pass transient views (e.g. strings aliasing a memory mapping).
 func (in *Interner) Intern(name string) VarID {
 	in.mu.RLock()
 	id, ok := in.ids[name]
@@ -119,13 +141,43 @@ func (in *Interner) Intern(name string) VarID {
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	return in.internLocked(name)
+}
+
+func (in *Interner) internLocked(name string) VarID {
 	if id, ok := in.ids[name]; ok {
 		return id
 	}
-	id = VarID(len(in.names))
+	id := VarID(len(in.names))
+	name = strings.Clone(name)
 	in.ids[name] = id
 	in.names = append(in.names, name)
 	return id
+}
+
+// InternAll interns every name in one arena transaction and returns the
+// ids positionally. Equivalent to calling Intern per name, but takes the
+// write lock once — the decode side of segment restore interns tens of
+// thousands of variable names back-to-back, where per-call lock traffic
+// would dominate. Like Intern, novel names are copied into the arena.
+func (in *Interner) InternAll(names []string) []VarID {
+	ids := make([]VarID, len(names))
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	// When the batch dominates the arena — a segment's worth of novel
+	// names landing in one restore — rebuild the index presized for the
+	// union instead of paying incremental rehash growth per insert.
+	if len(names) > len(in.ids) {
+		m := make(map[string]VarID, len(in.ids)+len(names))
+		for k, v := range in.ids {
+			m[k] = v
+		}
+		in.ids = m
+	}
+	for i, name := range names {
+		ids[i] = in.internLocked(name)
+	}
+	return ids
 }
 
 // Lookup returns the id of name without interning it.

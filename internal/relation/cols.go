@@ -1,6 +1,8 @@
 package relation
 
 import (
+	"fmt"
+
 	"github.com/tpset/tpset/internal/keys"
 	"github.com/tpset/tpset/internal/lineage"
 )
@@ -32,10 +34,12 @@ type Cols struct {
 // cursor-plan leaves, engine shard partitions, catalog admission);
 // every mutating method invalidates the cache.
 func (r *Relation) BuildCols() *Cols {
+	r.mutable("BuildCols")
 	if r.dict == nil {
-		r.cols = nil
+		r.clearCols()
 		return nil
 	}
+	r.region = nil // heap columns: no foreign region to bounds-check
 	n := len(r.Tuples)
 	c := &Cols{
 		Fid:  make([]int64, n),
@@ -66,7 +70,30 @@ func (r *Relation) Cols() *Cols {
 	if r.cols == nil || r.dict == nil || len(r.cols.Fid) != len(r.Tuples) {
 		return nil
 	}
+	r.checkColsRegion() // tpinvariants build only: columns inside the mapped region
 	return r.cols
+}
+
+// SetCols installs an externally built columnar projection whose
+// numeric columns alias foreign memory — the mmap'd segment region —
+// instead of heap slices, making BuildCols a pointer fixup rather than
+// a copy for restored relations. region is the mapping the columns
+// point into; the tpinvariants build re-checks containment on every
+// Cols read. It returns an error when the relation is unbound or the
+// column lengths do not mirror Tuples; the caller typically calls
+// Freeze right after, since writes through aliased columns would
+// corrupt the shared mapping.
+func (r *Relation) SetCols(c *Cols, region []byte) error {
+	r.mutable("SetCols")
+	if r.dict == nil {
+		return fmt.Errorf("relation %s: SetCols on unbound relation", r.Schema.Name)
+	}
+	n := len(r.Tuples)
+	if c == nil || len(c.Fid) != n || len(c.Ts) != n || len(c.Te) != n || len(c.Prob) != n || len(c.Lam) != n {
+		return fmt.Errorf("relation %s: SetCols columns do not mirror %d tuples", r.Schema.Name, n)
+	}
+	r.cols, r.region = c, region
+	return nil
 }
 
 // SkipToFid returns the index of the first entry of the sorted id

@@ -1,0 +1,8 @@
+//go:build !tpinvariants
+
+package relation
+
+// checkColsRegion is a no-op without the tpinvariants tag; the Cols
+// accessor call compiles away. See colscheck_tagged.go for the checked
+// body.
+func (r *Relation) checkColsRegion() {}

@@ -1,0 +1,117 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tpset/tpset/internal/lineage"
+)
+
+func frozenFixture(t *testing.T) *Relation {
+	t.Helper()
+	r := New(NewSchema("fr", "a", "b"))
+	r.AddBase(NewFact("x", "1"), "i1", 0, 5, 0.5)
+	r.AddBase(NewFact("y", "2"), "i2", 2, 7, 0.25)
+	r.Intern()
+	r.Sort()
+	r.BuildCols()
+	r.Freeze()
+	return r
+}
+
+func TestFrozenMutatorsPanic(t *testing.T) {
+	r := frozenFixture(t)
+	if !r.Frozen() {
+		t.Fatalf("Frozen() = false after Freeze")
+	}
+	cases := map[string]func(){
+		"Add":          func() { r.Add(Tuple{}) },
+		"Bind":         func() { r.Bind(r.Dict()) },
+		"Unbind":       func() { r.Unbind() },
+		"Sort":         func() { r.Sort() },
+		"ComputeProbs": func() { r.ComputeProbs() },
+		"BuildCols":    func() { r.BuildCols() },
+		"SetCols":      func() { r.SetCols(r.Cols(), nil) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				msg, _ := recover().(string)
+				if msg == "" {
+					t.Errorf("%s on frozen relation did not panic", name)
+				} else if !strings.Contains(msg, name) || !strings.Contains(msg, "frozen") {
+					t.Errorf("%s panic message %q does not name the operation", name, msg)
+				}
+			}()
+			fn()
+		}()
+	}
+	// Reads stay open: the columnar view and clone both work.
+	if r.Cols() == nil {
+		t.Fatalf("frozen relation lost its columns")
+	}
+	c := r.Clone()
+	if c.Frozen() {
+		t.Fatalf("Clone inherited frozen")
+	}
+	c.Sort()
+	c.BuildCols()
+}
+
+func TestSetColsValidates(t *testing.T) {
+	r := New(NewSchema("v", "a"))
+	r.AddBase(NewFact("x"), "i1", 0, 5, 0.5)
+	if err := r.SetCols(&Cols{}, nil); err == nil {
+		t.Fatalf("SetCols on unbound relation accepted")
+	}
+	r.Intern()
+	if err := r.SetCols(&Cols{Fid: []int64{1, 2}}, nil); err == nil {
+		t.Fatalf("SetCols with mismatched lengths accepted")
+	}
+	good := &Cols{Fid: []int64{0}, Ts: []int64{0}, Te: []int64{5}, Prob: []float64{0.5}, Lam: []*lineage.Expr{r.Tuples[0].Lineage}}
+	if err := r.SetCols(good, nil); err != nil {
+		t.Fatalf("SetCols rejected a mirroring projection: %v", err)
+	}
+	if r.Cols() != good {
+		t.Fatalf("Cols() did not return the installed projection")
+	}
+}
+
+func TestParseFactKeyInvertsKey(t *testing.T) {
+	facts := []Fact{
+		{"plain"},
+		{""},
+		{"a", "b"},
+		{"", ""},
+		{"with\x1fsep", "and\x1eesc"},
+		{"\x1e", "\x1f", "mixed\x1e\x1fboth"},
+		{"unicode✓", "tab\tand\nnl"},
+	}
+	for _, f := range facts {
+		got, err := ParseFactKey(f.Key(), len(f))
+		if err != nil {
+			t.Fatalf("ParseFactKey(%q, %d): %v", f.Key(), len(f), err)
+		}
+		if !got.Equal(f) {
+			t.Fatalf("ParseFactKey(%q) = %v, want %v", f.Key(), got, f)
+		}
+	}
+}
+
+func TestParseFactKeyRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		key   string
+		attrs int
+	}{
+		{"x", 0},              // no attributes
+		{"a\x1e", 2},          // dangling escape
+		{"a", 2},              // too few values
+		{"a\x1fb\x1fc", 2},    // too many values
+		{"\x1fa\x1fb\x1f", 2}, // separator count off by two
+	}
+	for _, c := range cases {
+		if _, err := ParseFactKey(c.key, c.attrs); err == nil {
+			t.Fatalf("ParseFactKey(%q, %d) accepted", c.key, c.attrs)
+		}
+	}
+}

@@ -79,6 +79,45 @@ func (f Fact) Key() string {
 	return b.String()
 }
 
+// ParseFactKey is the inverse of Fact.Key for a fact of attrs attribute
+// values. The key encoding is injective given the attribute count (a
+// bare keySep separates values, keyEsc consumes the next byte as a
+// literal, and single-attribute keys are the raw value), so a segment
+// file can store only the dictionary key strings and reconstruct full
+// facts at open. It returns an error — never panics — on a key that is
+// not a valid encoding for attrs values: a dangling trailing escape or
+// a wrong separator count.
+func ParseFactKey(key string, attrs int) (Fact, error) {
+	if attrs <= 0 {
+		return nil, fmt.Errorf("relation: fact key for %d attributes", attrs)
+	}
+	if attrs == 1 {
+		return Fact{key}, nil
+	}
+	f := make(Fact, 0, attrs)
+	var b strings.Builder
+	for i := 0; i < len(key); i++ {
+		switch key[i] {
+		case keyEsc:
+			i++
+			if i == len(key) {
+				return nil, fmt.Errorf("relation: fact key %q ends in dangling escape", key)
+			}
+			b.WriteByte(key[i])
+		case keySep:
+			f = append(f, b.String())
+			b.Reset()
+		default:
+			b.WriteByte(key[i])
+		}
+	}
+	f = append(f, b.String())
+	if len(f) != attrs {
+		return nil, fmt.Errorf("relation: fact key %q encodes %d values, schema has %d attributes", key, len(f), attrs)
+	}
+	return f, nil
+}
+
 // Equal reports value equality of two facts.
 func (f Fact) Equal(o Fact) bool {
 	if len(f) != len(o) {
@@ -227,6 +266,19 @@ func NewDerivedLazyKeyed(fact Fact, k FactKey, lam *lineage.Expr, iv interval.In
 	return Tuple{Fact: fact, Lineage: lam, T: iv, key: k.key, fid: k.id, dict: k.dict}
 }
 
+// InitDerivedLazyKeyed initializes t in place, equivalent to assigning
+// NewDerivedLazyKeyed's result. Bulk decode paths (segment restore) fill
+// preallocated tuple slabs with it instead of copying ~100-byte Tuple
+// values through the stack per element.
+func (t *Tuple) InitDerivedLazyKeyed(fact Fact, k FactKey, lam *lineage.Expr, iv interval.Interval) {
+	t.Fact = fact
+	t.Lineage = lam
+	t.T = iv
+	t.key = k.key
+	t.fid = k.id
+	t.dict = k.dict
+}
+
 // Key returns the cached canonical fact key.
 func (t *Tuple) Key() string {
 	if t.key == "" && len(t.Fact) > 0 {
@@ -263,7 +315,42 @@ type Relation struct {
 	// cols caches the columnar projection (BuildCols); every mutator
 	// below clears it, and the Cols accessor re-checks validity.
 	cols *Cols
+	// region is the foreign memory (an mmap'd segment) the numeric
+	// columns of cols alias when SetCols installed them; nil for
+	// heap-built columns. The tpinvariants build checks every Cols read
+	// against it.
+	region []byte
+	// frozen marks the relation read-only: mutators panic. Set for
+	// relations whose columns alias a shared mapping, where an in-place
+	// mutation would corrupt memory other snapshots still read.
+	frozen bool
 }
+
+// clearCols drops the cached columnar projection together with the
+// foreign-memory region it may alias; every mutator goes through it so
+// a stale region can never be checked against freshly built heap
+// columns.
+func (r *Relation) clearCols() { r.cols, r.region = nil, nil }
+
+// mutable panics when the relation is frozen; every mutator calls it
+// first, so an aliased mapping can never be written through a stale
+// reference to a restored relation.
+func (r *Relation) mutable(op string) {
+	if r.frozen {
+		panic("relation: " + op + " on frozen relation " + r.Schema.Name)
+	}
+}
+
+// Freeze marks the relation read-only: Add, Bind, Unbind, Sort,
+// ComputeProbs, ComputeProbsMonteCarlo, BuildCols and SetCols panic
+// afterwards. The segment store freezes restored relations because
+// their columns alias the shared file mapping; Clone returns an
+// unfrozen deep copy, so the catalog's rebind-via-clone admission path
+// is unaffected.
+func (r *Relation) Freeze() { r.frozen = true }
+
+// Frozen reports whether the relation is read-only.
+func (r *Relation) Frozen() bool { return r.frozen }
 
 // New returns an empty relation with the given schema.
 func New(schema Schema) *Relation {
@@ -273,7 +360,8 @@ func New(schema Schema) *Relation {
 // Add appends a tuple. The caller is responsible for keeping the relation
 // duplicate-free; ValidateDuplicateFree checks the invariant.
 func (r *Relation) Add(t Tuple) {
-	r.cols = nil
+	r.mutable("Add")
+	r.clearCols()
 	if r.dict != nil && t.dict != r.dict {
 		if id, ok := r.dict.ID(t.Key()); ok {
 			t.fid, t.dict = id, r.dict
@@ -294,7 +382,8 @@ func (r *Relation) Dict() *keys.Dict { return r.dict }
 // Binding never reorders tuples, and because dictionaries are
 // order-preserving a sorted relation stays sorted across rebinding.
 func (r *Relation) Bind(d *keys.Dict) bool {
-	r.cols = nil
+	r.mutable("Bind")
+	r.clearCols()
 	if d == nil {
 		r.Unbind()
 		return false
@@ -317,7 +406,8 @@ func (r *Relation) Bind(d *keys.Dict) bool {
 // the unbound one, which the cross-validation suite and the
 // intern-vs-string benchmark exercise through this switch.
 func (r *Relation) Unbind() {
-	r.cols = nil
+	r.mutable("Unbind")
+	r.clearCols()
 	r.dict = nil
 	for i := range r.Tuples {
 		r.Tuples[i].fid, r.Tuples[i].dict = 0, nil
@@ -448,7 +538,8 @@ func Less(a, b *Tuple) bool {
 // in the paper and a precondition of the window advancer. A bound
 // relation sorts with the pure three-integer comparator.
 func (r *Relation) Sort() {
-	r.cols = nil
+	r.mutable("Sort")
+	r.clearCols()
 	if r.dict != nil {
 		sort.Slice(r.Tuples, func(i, j int) bool {
 			a, b := &r.Tuples[i], &r.Tuples[j]
@@ -658,7 +749,8 @@ func (r *Relation) String() string {
 // ComputeProbs valuates the lineage probability of every tuple in place
 // (exact: linear for 1OF lineage, Shannon expansion otherwise).
 func (r *Relation) ComputeProbs() {
-	r.cols = nil // the Prob column would go stale
+	r.mutable("ComputeProbs")
+	r.clearCols() // the Prob column would go stale
 	for i := range r.Tuples {
 		r.Tuples[i].ComputeProb()
 	}
@@ -670,7 +762,8 @@ func (r *Relation) ComputeProbs() {
 // where exact Shannon expansion would blow up; the standard error per
 // tuple is at most 0.5/sqrt(n).
 func (r *Relation) ComputeProbsMonteCarlo(n int, rng lineage.RNG) {
-	r.cols = nil // the Prob column would go stale
+	r.mutable("ComputeProbsMonteCarlo")
+	r.clearCols() // the Prob column would go stale
 	for i := range r.Tuples {
 		r.Tuples[i].Prob = r.Tuples[i].Lineage.ProbMonteCarlo(n, rng)
 	}

@@ -1,0 +1,19 @@
+package segment
+
+import (
+	"testing"
+)
+
+func BenchmarkDecode(b *testing.B) {
+	data, err := Encode(testRelation(b, "bench", 20000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+//go:build linux || darwin
+
+package segment
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// readSegment maps the file read-only. The mapping — not a copy — is
+// what Decode aliases the columns over, so opening a segment faults
+// pages in lazily off the page cache and a catalog open does no bulk
+// read at all.
+func readSegment(path string) (data []byte, mapped bool, err error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer fd.Close()
+	st, err := fd.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, false, fmt.Errorf("segment: %s is empty", path)
+	}
+	if size != int64(int(size)) {
+		return nil, false, fmt.Errorf("segment: %s exceeds the addressable mapping size", path)
+	}
+	data, err = syscall.Mmap(int(fd.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, fmt.Errorf("segment: mmap %s: %v", path, err)
+	}
+	return data, true, nil
+}
+
+func munmapData(data []byte) error { return syscall.Munmap(data) }

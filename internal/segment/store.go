@@ -1,0 +1,470 @@
+package segment
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"github.com/tpset/tpset/internal/keys"
+	"github.com/tpset/tpset/internal/relation"
+)
+
+// walFileName is the per-catalog write-ahead log inside the data dir.
+const walFileName = "wal.log"
+
+// defaultApplyThreshold is how many WAL bytes may accumulate before a
+// Put applies pending segment rewrites synchronously. Below it, Put
+// returns right after the WAL fsync — the acknowledgement point — and
+// the rewrite cost is paid in the background of a later call, Flush,
+// or replay.
+const defaultApplyThreshold = 4 << 20
+
+// Store is the durable tier of one catalog: a directory of one segment
+// file per relation plus the WAL. All methods are safe for concurrent
+// use; relations handed to Put must be the catalog's immutable admitted
+// pointers (the store reads them again at apply time).
+//
+// Mappings opened during Restore stay mapped until Close even when
+// their relation is later replaced or dropped — in-flight query
+// snapshots may still read the aliased columns — so Close must only
+// run once serving has stopped.
+type Store struct {
+	dir string
+
+	mu             sync.Mutex
+	wal            *os.File
+	walSize        int64
+	seq            uint64
+	pending        map[string]pendingOp
+	files          []*File
+	applyThreshold int64
+}
+
+// pendingOp is one not-yet-applied catalog mutation. payload carries
+// the WAL-recorded segment bytes for the triggering Put; rebound
+// rewrites (dictionary-rebuild fallout) have no WAL record — their
+// old segments remain durable and a crash merely leaves mixed
+// dictionary generations, which Restore heals — so they are encoded
+// lazily at apply time.
+type pendingOp struct {
+	drop    bool
+	rel     *relation.Relation
+	payload []byte
+}
+
+// segFileName maps a relation name to its segment file name; escaping
+// keeps arbitrary relation names (path separators included) inside the
+// data dir.
+func segFileName(name string) string { return url.PathEscape(name) + ".seg" }
+
+// OpenFile maps (or, off unix, reads) and decodes one segment file.
+func OpenFile(path string) (*File, error) {
+	data, mapped, err := readSegment(path)
+	if err != nil {
+		return nil, prefixed(err)
+	}
+	f, err := Decode(data)
+	if err != nil {
+		if mapped {
+			munmapData(data)
+		}
+		return nil, fmt.Errorf("%v (in %s)", err, path)
+	}
+	f.mapped = mapped
+	return f, nil
+}
+
+// Close releases the file's mapping. The decoded views (and any
+// relation columns aliasing them) are invalid afterwards.
+func (f *File) Close() error {
+	if !f.mapped {
+		return nil
+	}
+	f.mapped = false
+	data := f.data
+	f.data = nil
+	return munmapData(data)
+}
+
+// OpenStore opens (creating if needed) the data dir: leftover *.tmp
+// files from torn renames are removed, the WAL's valid prefix is
+// replayed into segment files and the WAL truncated, and every segment
+// is memory-mapped and decoded. A segment that fails validation —
+// torn, truncated, bit-flipped — fails the open loudly rather than
+// serving partial data.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("segment: create data dir: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("segment: read data dir: %v", err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return nil, fmt.Errorf("segment: remove leftover %s: %v", e.Name(), err)
+			}
+		}
+	}
+
+	walPath := filepath.Join(dir, walFileName)
+	walData, err := os.ReadFile(walPath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("segment: read wal: %v", err)
+	}
+	walExisted := err == nil
+	recs := replayWAL(walData)
+	for _, rec := range recs {
+		switch rec.op {
+		case opPut:
+			// The payload passed its record CRC; decoding re-proves it is
+			// a whole valid segment before it replaces anything.
+			if _, err := Decode(rec.payload); err != nil {
+				return nil, fmt.Errorf("segment: wal record %d for %q: %v", rec.seq, rec.name, err)
+			}
+			if err := writeSegmentFile(dir, rec.name, rec.payload); err != nil {
+				return nil, err
+			}
+		case opDrop:
+			if err := os.Remove(filepath.Join(dir, segFileName(rec.name))); err != nil && !os.IsNotExist(err) {
+				return nil, fmt.Errorf("segment: apply wal drop of %q: %v", rec.name, err)
+			}
+		}
+	}
+	if len(recs) > 0 {
+		if err := syncDir(dir); err != nil {
+			return nil, err
+		}
+	}
+	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("segment: open wal: %v", err)
+	}
+	// Syncing the truncated WAL matters only when the truncation changed
+	// durable state: replayed records were folded into segment files (all
+	// fsynced above), or the file is brand new and its directory entry
+	// must outlive a crash. A reopen after a clean shutdown — WAL already
+	// present and empty — skips the fsync, which is a measurable slice of
+	// restart cold-open.
+	if !walExisted || len(walData) > 0 {
+		if err := wal.Sync(); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("segment: sync wal: %v", err)
+		}
+		if !walExisted {
+			if err := syncDir(dir); err != nil {
+				wal.Close()
+				return nil, err
+			}
+		}
+	}
+
+	s := &Store{
+		dir:            dir,
+		wal:            wal,
+		pending:        make(map[string]pendingOp),
+		applyThreshold: defaultApplyThreshold,
+	}
+	entries, err = os.ReadDir(dir)
+	if err != nil {
+		s.Close()
+		return nil, fmt.Errorf("segment: read data dir: %v", err)
+	}
+	var segNames []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			segNames = append(segNames, e.Name())
+		}
+	}
+	// Segments map and decode independently, so open them concurrently:
+	// restart latency is bounded by the largest segment, not the catalog
+	// size. ReadDir order keeps s.files deterministic.
+	files := make([]*File, len(segNames))
+	errs := make([]error, len(segNames))
+	var wg sync.WaitGroup
+	for i, name := range segNames {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			f, err := OpenFile(filepath.Join(dir, name))
+			if err == nil && segFileName(f.Name) != name {
+				f.Close()
+				f, err = nil, fmt.Errorf("segment: %s embeds relation name %q, which belongs in %s", name, f.Name, segFileName(f.Name))
+			}
+			files[i], errs[i] = f, err
+		}(i, name)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			for _, f := range files {
+				if f != nil {
+					f.Close()
+				}
+			}
+			s.Close()
+			return nil, errs[i]
+		}
+	}
+	s.files = files
+	return s, nil
+}
+
+// Restore materializes every opened segment as a catalog-ready
+// relation, all bound to one shared dictionary. When every segment
+// carries the same dictionary generation — the invariant every clean
+// shutdown and every complete apply maintains — each relation's
+// columns alias its mapping; after a crash that interleaved a
+// dictionary rebuild, older-generation segments are healed by
+// rebinding (heap columns, same content).
+func (s *Store) Restore() (map[string]*relation.Relation, *keys.Dict, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.files) == 0 {
+		return map[string]*relation.Relation{}, nil, nil
+	}
+	uniform := true
+	for _, f := range s.files[1:] {
+		if !sameKeys(f.Keys, s.files[0].Keys) {
+			uniform = false
+			break
+		}
+	}
+	var d *keys.Dict
+	if uniform {
+		d = keys.FromSorted(s.files[0].Keys)
+	} else {
+		var ks []string
+		for _, f := range s.files {
+			ks = append(ks, f.Keys...)
+		}
+		d = keys.BuildDict(ks)
+	}
+	rels := make(map[string]*relation.Relation, len(s.files))
+	for _, f := range s.files {
+		rel, err := f.Relation(d)
+		if err != nil {
+			return nil, nil, err
+		}
+		rels[f.Name] = rel
+	}
+	return rels, d, nil
+}
+
+// SegmentCount returns the number of segments opened at restore.
+func (s *Store) SegmentCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.files)
+}
+
+// Put makes a catalog put durable: the encoded segment is appended to
+// the WAL and fsynced — once Put returns, the relation survives any
+// crash — and the segment files are rewritten at the next apply.
+// rebound carries the sibling relations a dictionary rebuild rebound
+// at admission (nil when the dictionary was reused); scheduling their
+// rewrite keeps all on-disk segments on one dictionary generation, so
+// the next restart aliases every relation.
+func (s *Store) Put(name string, rel *relation.Relation, rebound map[string]*relation.Relation) error {
+	if rel.Schema.Name != name {
+		return fmt.Errorf("segment: put of %q with schema name %q", name, rel.Schema.Name)
+	}
+	payload, err := Encode(rel)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(opPut, name, payload); err != nil {
+		return err
+	}
+	s.pending[name] = pendingOp{rel: rel, payload: payload}
+	for other, r := range rebound {
+		if other == name {
+			continue
+		}
+		s.pending[other] = pendingOp{rel: r}
+	}
+	return s.maybeApplyLocked()
+}
+
+// Drop makes a catalog drop durable; the segment file is removed at
+// the next apply.
+func (s *Store) Drop(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(opDrop, name, nil); err != nil {
+		return err
+	}
+	s.pending[name] = pendingOp{drop: true}
+	return s.maybeApplyLocked()
+}
+
+// Flush applies every pending mutation to segment files and truncates
+// the WAL — the graceful-shutdown path, after which a restart opens
+// nothing but clean, single-generation segments.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyLocked()
+}
+
+// Close flushes and releases the WAL handle and every mapping. Only
+// safe once no query can still read a restored relation.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.applyLocked()
+	if s.wal != nil {
+		if cerr := s.wal.Close(); err == nil {
+			err = cerr
+		}
+		s.wal = nil
+	}
+	for _, f := range s.files {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	s.files = nil
+	return err
+}
+
+// appendLocked writes and fsyncs one WAL record — the durability
+// point.
+func (s *Store) appendLocked(op byte, name string, payload []byte) error {
+	if len(name) > 0xFFFF {
+		return fmt.Errorf("segment: relation name longer than 65535 bytes")
+	}
+	s.seq++
+	rec := encodeRecord(s.seq, op, name, payload)
+	if _, err := s.wal.Write(rec); err != nil {
+		return fmt.Errorf("segment: append wal: %v", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("segment: sync wal: %v", err)
+	}
+	s.walSize += int64(len(rec))
+	return nil
+}
+
+func (s *Store) maybeApplyLocked() error {
+	if s.walSize < s.applyThreshold {
+		return nil
+	}
+	return s.applyLocked()
+}
+
+// applyLocked materializes every pending op as a segment file
+// (write tmp → fsync → rename-into-place), fsyncs the directory, and
+// truncates the WAL. On error the WAL is left intact, so nothing
+// acknowledged is lost — the apply simply retries later.
+func (s *Store) applyLocked() error {
+	if len(s.pending) == 0 && s.walSize == 0 {
+		return nil
+	}
+	for name, op := range s.pending {
+		if op.drop {
+			if err := os.Remove(filepath.Join(s.dir, segFileName(name))); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("segment: drop %q: %v", name, err)
+			}
+			continue
+		}
+		payload := op.payload
+		if payload == nil {
+			var err error
+			if payload, err = Encode(op.rel); err != nil {
+				return err
+			}
+		}
+		if err := writeSegmentFile(s.dir, name, payload); err != nil {
+			return err
+		}
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("segment: truncate wal: %v", err)
+	}
+	if _, err := s.wal.Seek(0, 0); err != nil {
+		return fmt.Errorf("segment: rewind wal: %v", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("segment: sync wal: %v", err)
+	}
+	s.walSize, s.seq = 0, 0
+	s.pending = make(map[string]pendingOp)
+	return nil
+}
+
+// writeSegmentFile writes payload as dir/<name>.seg atomically: a
+// fsynced temp file renamed into place, so any crash leaves either the
+// old segment or the new one, never a torn mix.
+func writeSegmentFile(dir, name string, payload []byte) error {
+	seg := filepath.Join(dir, segFileName(name))
+	tmp := seg + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("segment: write %q: %v", name, err)
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("segment: write %q: %v", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("segment: sync %q: %v", name, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("segment: close %q: %v", name, err)
+	}
+	if err := os.Rename(tmp, seg); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("segment: rename %q into place: %v", name, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs the directory so renames and removals are themselves
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("segment: open data dir for sync: %v", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("segment: sync data dir: %v", err)
+	}
+	return nil
+}
+
+// sameKeys reports element-wise equality of two sorted key slices.
+func sameKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// prefixed wraps an error with the package prefix unless it already
+// carries it.
+func prefixed(err error) error {
+	if strings.HasPrefix(err.Error(), "segment:") {
+		return err
+	}
+	return fmt.Errorf("segment: %v", err)
+}

@@ -64,13 +64,49 @@ func NewCatalog() *Catalog {
 // when rel brings genuinely new facts), so the relation — including the
 // caller's pointer — must not be mutated afterwards.
 func (c *Catalog) Put(name string, rel *relation.Relation) (version uint64, existed bool) {
+	version, existed, _ = c.PutRebound(name, rel)
+	return version, existed
+}
+
+// PutRebound is Put exposing the admission side effect a durable store
+// must mirror: when admission rebuilt the catalog dictionary, rebound
+// maps every *other* stored relation name to the freshly rebound clone
+// now installed in the catalog (nil on the fast path, where no sibling
+// changed). A persistence layer rewrites those segments so the on-disk
+// generation converges with memory; until it does, mixed on-disk
+// generations are healed at restore (segment.Store.Restore).
+func (c *Catalog) PutRebound(name string, rel *relation.Relation) (version uint64, existed bool, rebound map[string]*relation.Relation) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.admit(name, rel)
+	rebound = c.admit(name, rel)
 	_, existed = c.rels[name]
 	c.clock++
 	c.rels[name] = catEntry{rel: rel, version: c.clock}
-	return c.clock, existed
+	return c.clock, existed, rebound
+}
+
+// Restore seeds the catalog from a durable store's recovered state:
+// every relation is installed under a fresh version and the recovered
+// dictionary becomes the catalog dictionary, so subsequent admissions
+// take the fast path whenever their facts are already known. Restored
+// relations are typically frozen (mmap-backed); that is compatible with
+// later dictionary rebuilds, which rebind via unfrozen clones. Call it
+// once, on an empty catalog, before serving.
+func (c *Catalog) Restore(rels map[string]*relation.Relation, dict *keys.Dict) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(rels))
+	for name := range rels {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic version assignment
+	for _, name := range names {
+		c.clock++
+		c.rels[name] = catEntry{rel: rels[name], version: c.clock}
+	}
+	if dict != nil {
+		c.dict = dict
+	}
 }
 
 // admit binds rel to the catalog dictionary. Fast path: every fact of
@@ -85,7 +121,10 @@ func (c *Catalog) Put(name string, rel *relation.Relation) (version uint64, exis
 // at bind time: query plans over the catalog run AssumeSorted, so this
 // is the single point where the scanned leaves gain their columnar view
 // (Bind invalidates any previous projection).
-func (c *Catalog) admit(name string, rel *relation.Relation) {
+//
+// The returned map holds the rebound sibling clones of the slow path
+// (nil when the fast path ran); see PutRebound.
+func (c *Catalog) admit(name string, rel *relation.Relation) map[string]*relation.Relation {
 	if invariant.Enabled {
 		// Tagged builds re-prove the admission contract the mutation
 		// paths establish (sorted, duplicate-free — the Algorithm 1–4
@@ -100,7 +139,7 @@ func (c *Catalog) admit(name string, rel *relation.Relation) {
 	if c.dict != nil && c.dict.Contains(relKeys) {
 		rel.Bind(c.dict)
 		rel.BuildCols()
-		return
+		return nil
 	}
 	union := relKeys
 	for other, e := range c.rels {
@@ -112,6 +151,7 @@ func (c *Catalog) admit(name string, rel *relation.Relation) {
 	dict := keys.BuildDict(union)
 	rel.Bind(dict)
 	rel.BuildCols()
+	var rebound map[string]*relation.Relation
 	for other, e := range c.rels {
 		if other == name {
 			continue
@@ -120,8 +160,13 @@ func (c *Catalog) admit(name string, rel *relation.Relation) {
 		clone.Bind(dict)
 		clone.BuildCols()
 		c.rels[other] = catEntry{rel: clone, version: e.version}
+		if rebound == nil {
+			rebound = make(map[string]*relation.Relation)
+		}
+		rebound[other] = clone
 	}
 	c.dict = dict
+	return rebound
 }
 
 // factKeys appends the fact keys of r to dst, skipping consecutive

@@ -32,6 +32,8 @@ type serverMetrics struct {
 	admissions     obs.Counter // relations admitted to the catalog (PUT or Load)
 	tuplesAdmitted obs.Counter // tuples admitted across all admissions
 
+	segmentsRestored obs.Counter // segments recovered from the data dir at startup
+
 	parseHist   obs.Histogram // parse + optimize + catalog snapshot (prepare)
 	executeHist obs.Histogram // evaluation (cache lookup or engine drain)
 	encodeHist  obs.Histogram // response encoding (materialized path)
@@ -64,22 +66,27 @@ type PhaseMetrics struct {
 
 // Metrics is the body of GET /metrics (JSON form).
 type Metrics struct {
-	Relations      int              `json:"relations"`
-	CatalogClock   uint64           `json:"catalogClock"`
-	Queries        uint64           `json:"queries"`
-	Evaluations    uint64           `json:"evaluations"`
-	Streams        uint64           `json:"streams"`
-	Explains       uint64           `json:"explains"`
-	TracedQueries  uint64           `json:"tracedQueries"`
-	BytesStreamed  uint64           `json:"bytesStreamed"`
-	TuplesStreamed uint64           `json:"tuplesStreamed"`
-	Admissions     uint64           `json:"admissions"`
-	TuplesAdmitted uint64           `json:"tuplesAdmitted"`
-	Cache          CacheStats       `json:"cache"`
-	BatchPool      BatchPoolMetrics `json:"batchPool"`
-	Phases         PhaseMetrics     `json:"phases"`
-	Runtime        RuntimeMetrics   `json:"runtime"`
-	UptimeSec      int64            `json:"uptimeSec"`
+	Relations      int    `json:"relations"`
+	CatalogClock   uint64 `json:"catalogClock"`
+	Queries        uint64 `json:"queries"`
+	Evaluations    uint64 `json:"evaluations"`
+	Streams        uint64 `json:"streams"`
+	Explains       uint64 `json:"explains"`
+	TracedQueries  uint64 `json:"tracedQueries"`
+	BytesStreamed  uint64 `json:"bytesStreamed"`
+	TuplesStreamed uint64 `json:"tuplesStreamed"`
+	Admissions     uint64 `json:"admissions"`
+	TuplesAdmitted uint64 `json:"tuplesAdmitted"`
+	// SegmentsRestored counts the on-disk segments recovered into the
+	// catalog at startup (0 without -data-dir): the restart-durability
+	// smoke asserts on it to prove a restart served from segments, not
+	// re-ingestion.
+	SegmentsRestored uint64           `json:"segmentsRestored"`
+	Cache            CacheStats       `json:"cache"`
+	BatchPool        BatchPoolMetrics `json:"batchPool"`
+	Phases           PhaseMetrics     `json:"phases"`
+	Runtime          RuntimeMetrics   `json:"runtime"`
+	UptimeSec        int64            `json:"uptimeSec"`
 }
 
 // snapshotMetrics reads every instrument atomically into the JSON body.
@@ -88,19 +95,20 @@ func (s *Server) snapshotMetrics() Metrics {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	return Metrics{
-		Relations:      s.catalog.Len(),
-		CatalogClock:   s.catalog.Clock(),
-		Queries:        s.metrics.queries.Load(),
-		Evaluations:    s.metrics.evaluations.Load(),
-		Streams:        s.metrics.streams.Load(),
-		Explains:       s.metrics.explains.Load(),
-		TracedQueries:  s.metrics.traced.Load(),
-		BytesStreamed:  s.metrics.bytesStreamed.Load(),
-		TuplesStreamed: s.metrics.tuplesStreamed.Load(),
-		Admissions:     s.metrics.admissions.Load(),
-		TuplesAdmitted: s.metrics.tuplesAdmitted.Load(),
-		Cache:          s.cache.Stats(),
-		BatchPool:      BatchPoolMetrics{Gets: gets, Puts: puts, Misses: news, Drops: drops},
+		Relations:        s.catalog.Len(),
+		CatalogClock:     s.catalog.Clock(),
+		Queries:          s.metrics.queries.Load(),
+		Evaluations:      s.metrics.evaluations.Load(),
+		Streams:          s.metrics.streams.Load(),
+		Explains:         s.metrics.explains.Load(),
+		TracedQueries:    s.metrics.traced.Load(),
+		BytesStreamed:    s.metrics.bytesStreamed.Load(),
+		TuplesStreamed:   s.metrics.tuplesStreamed.Load(),
+		Admissions:       s.metrics.admissions.Load(),
+		TuplesAdmitted:   s.metrics.tuplesAdmitted.Load(),
+		SegmentsRestored: s.metrics.segmentsRestored.Load(),
+		Cache:            s.cache.Stats(),
+		BatchPool:        BatchPoolMetrics{Gets: gets, Puts: puts, Misses: news, Drops: drops},
 		Phases: PhaseMetrics{
 			Parse:   s.metrics.parseHist.Snapshot(),
 			Execute: s.metrics.executeHist.Snapshot(),
@@ -164,6 +172,7 @@ func (s *Server) writeMetricsProm(w http.ResponseWriter) {
 	obs.WriteCounterProm(w, "tpset_stream_tuples_total", "Result tuples shipped over /query/stream.", m.tuplesStreamed.Load())
 	obs.WriteCounterProm(w, "tpset_relation_admissions_total", "Relations admitted to the catalog.", m.admissions.Load())
 	obs.WriteCounterProm(w, "tpset_relation_tuples_admitted_total", "Tuples admitted across all admissions.", m.tuplesAdmitted.Load())
+	obs.WriteGaugeProm(w, "tpset_segments_restored", "On-disk segments recovered into the catalog at startup.", float64(m.segmentsRestored.Load()))
 
 	cs := s.cache.Stats()
 	obs.WriteCounterProm(w, "tpset_cache_hits_total", "Result-cache hits.", cs.Hits)

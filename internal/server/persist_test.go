@@ -1,0 +1,221 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/tpset/tpset/internal/core"
+	"github.com/tpset/tpset/internal/datagen"
+	"github.com/tpset/tpset/internal/engine"
+	"github.com/tpset/tpset/internal/query"
+	"github.com/tpset/tpset/internal/relation"
+	"github.com/tpset/tpset/internal/segment"
+)
+
+// persistPair generates the same Table-III-shaped relation pair twice
+// deterministically, so the heap-mode and durable-mode servers can each
+// admit (and mutate: intern, sort, bind) their own copy.
+func persistPair(t *testing.T) (r, s *relation.Relation) {
+	t.Helper()
+	return datagen.Pair(datagen.PairConfig{
+		NumTuples: 2000, NumFacts: 50,
+		MaxLenR: 9, MaxLenS: 5, MaxGap: 3, Seed: 7,
+	})
+}
+
+func durableServer(t *testing.T, dir string) (*Server, *segment.Store) {
+	t.Helper()
+	st, err := segment.OpenStore(dir)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	srv := New(Config{})
+	if err := srv.AttachStore(st); err != nil {
+		t.Fatalf("AttachStore: %v", err)
+	}
+	return srv, st
+}
+
+// A restart against a populated data dir must serve bit-identical query
+// results to a heap-mode server that re-ingested the same inputs — the
+// mmap-backed catalog is observationally invisible, across worker
+// budgets, and the restart never re-ingests (segmentsRestored counts
+// the recovered segments).
+func TestRestartServesBitIdenticalResults(t *testing.T) {
+	dir := t.TempDir()
+
+	heap := New(Config{})
+	hr, hs := persistPair(t)
+	mustLoad(t, heap, "r", hr)
+	mustLoad(t, heap, "s", hs)
+
+	// Populate the data dir through a durable server, then abandon the
+	// store un-flushed — the kill -9 shape: admissions live only in the
+	// WAL, replay at the next open turns them into segments.
+	first, _ := durableServer(t, dir)
+	dr, ds := persistPair(t)
+	mustLoad(t, first, "r", dr)
+	mustLoad(t, first, "s", ds)
+
+	restarted, st2 := durableServer(t, dir)
+	defer st2.Close()
+	if got := restarted.snapshotMetrics().SegmentsRestored; got != 2 {
+		t.Fatalf("SegmentsRestored = %d, want 2", got)
+	}
+
+	for _, q := range []string{"r & s", "r | s", "r - s", "(r - s) | (s - r)"} {
+		for _, workers := range []int{1, 2, 8} {
+			req := QueryRequest{Query: q, Workers: workers, NoCache: true}
+			want, err := heap.RunQuery(req)
+			if err != nil {
+				t.Fatalf("heap RunQuery(%q, w=%d): %v", q, workers, err)
+			}
+			got, err := restarted.RunQuery(req)
+			if err != nil {
+				t.Fatalf("restored RunQuery(%q, w=%d): %v", q, workers, err)
+			}
+			wj, _ := json.Marshal(want.Result)
+			gj, _ := json.Marshal(got.Result)
+			if !bytes.Equal(wj, gj) {
+				t.Fatalf("restart result diverged for %q workers=%d:\nheap     %.200s\nrestored %.200s",
+					q, workers, wj, gj)
+			}
+		}
+	}
+}
+
+// The AoS fallback path (Options.NoSoA ignores the columnar projection
+// and walks tuple structs) must agree with heap mode over mmap-restored
+// relations too — it reads the same tuples the columns alias.
+func TestRestartCrossValNoSoA(t *testing.T) {
+	dir := t.TempDir()
+
+	heap := New(Config{})
+	hr, hs := persistPair(t)
+	mustLoad(t, heap, "r", hr)
+	mustLoad(t, heap, "s", hs)
+
+	first, _ := durableServer(t, dir)
+	dr, ds := persistPair(t)
+	mustLoad(t, first, "r", dr)
+	mustLoad(t, first, "s", ds)
+	restarted, st2 := durableServer(t, dir)
+	defer st2.Close()
+
+	node := query.MustParse("(r & s) | (r - s)")
+	names := query.Relations(node)
+	for _, noSoA := range []bool{false, true} {
+		opts := core.Options{AssumeSorted: true, NoSoA: noSoA}
+		hdb, _, err := heap.catalog.Snapshot(names)
+		if err != nil {
+			t.Fatalf("heap snapshot: %v", err)
+		}
+		rdb, _, err := restarted.catalog.Snapshot(names)
+		if err != nil {
+			t.Fatalf("restored snapshot: %v", err)
+		}
+		want, err := engine.New(engine.Config{Workers: 2}).EvalCursor(node, hdb, opts)
+		if err != nil {
+			t.Fatalf("heap eval (noSoA=%v): %v", noSoA, err)
+		}
+		got, err := engine.New(engine.Config{Workers: 2}).EvalCursor(node, rdb, opts)
+		if err != nil {
+			t.Fatalf("restored eval (noSoA=%v): %v", noSoA, err)
+		}
+		if !relation.Equal(want, got) {
+			t.Fatalf("noSoA=%v diverged over restored catalog: %s", noSoA, relation.Diff(want, got))
+		}
+	}
+}
+
+// PUT and DELETE through the HTTP handlers are durable at the 2xx: a
+// reopened data dir restores exactly the acknowledged state.
+func TestHandlerMutationsPersistAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := durableServer(t, dir)
+	h := srv.Handler()
+
+	put := func(name, body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPut, "/relations/"+name, strings.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w
+	}
+	body := `{"attrs":["obj"],"tuples":[
+		{"fact":["a"],"lineage":"i1","ts":0,"te":5,"p":0.5},
+		{"fact":["b"],"lineage":"i2","ts":2,"te":9,"p":0.25}]}`
+	if w := put("keep", body); w.Code != http.StatusCreated {
+		t.Fatalf("PUT keep: %d %s", w.Code, w.Body)
+	}
+	if w := put("gone", body); w.Code != http.StatusCreated {
+		t.Fatalf("PUT gone: %d %s", w.Code, w.Body)
+	}
+	req := httptest.NewRequest(http.MethodDelete, "/relations/gone", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("DELETE gone: %d %s", w.Code, w.Body)
+	}
+
+	// Abandon without flush; reopen replays the WAL.
+	restarted, st2 := durableServer(t, dir)
+	defer st2.Close()
+	if _, _, ok := restarted.Relation("gone"); ok {
+		t.Fatalf("dropped relation survived restart")
+	}
+	want, _, ok := srv.Relation("keep")
+	if !ok {
+		t.Fatalf("keep missing before restart")
+	}
+	got, _, ok := restarted.Relation("keep")
+	if !ok {
+		t.Fatalf("keep missing after restart")
+	}
+	if !relation.Equal(want, got) {
+		t.Fatalf("restored relation differs: %s", relation.Diff(want, got))
+	}
+	if !got.Frozen() || got.Cols() == nil {
+		t.Fatalf("restored relation not frozen with a columnar projection")
+	}
+}
+
+// Admitting a relation with novel facts rebuilds the catalog dictionary
+// and rebinds the stored siblings; the store mirrors those rewrites, and
+// even a crash before they apply restores both generations consistently.
+func TestDictionaryRebuildPersists(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := durableServer(t, dir)
+
+	r1 := datagen.Synthetic(datagen.SyntheticConfig{Name: "olddict", NumTuples: 300, NumFacts: 20, MaxLen: 5, MaxGap: 2, Seed: 3})
+	mustLoad(t, srv, "olddict", r1)
+	// Different name prefix → novel facts → slow-path admission.
+	r2 := datagen.Synthetic(datagen.SyntheticConfig{Name: "newdict", NumTuples: 300, NumFacts: 20, MaxLen: 5, MaxGap: 2, Seed: 4})
+	mustLoad(t, srv, "newdict", r2)
+
+	restarted, st2 := durableServer(t, dir)
+	defer st2.Close()
+	for _, name := range []string{"olddict", "newdict"} {
+		want, _, _ := srv.Relation(name)
+		got, _, ok := restarted.Relation(name)
+		if !ok || !relation.Equal(want, got) {
+			t.Fatalf("relation %s lost or diverged across dictionary rebuild (ok=%v)", name, ok)
+		}
+	}
+	// Both restored relations share one dictionary (healed or uniform).
+	a, _, _ := restarted.Relation("olddict")
+	b, _, _ := restarted.Relation("newdict")
+	if a.Dict() == nil || a.Dict() != b.Dict() {
+		t.Fatalf("restored relations not bound to one shared dictionary")
+	}
+}
+
+func mustLoad(t *testing.T, s *Server, name string, rel *relation.Relation) {
+	t.Helper()
+	if _, err := s.Load(name, rel); err != nil {
+		t.Fatalf("Load(%s): %v", name, err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"sync"
 	"time"
 
 	"github.com/tpset/tpset/internal/core"
@@ -16,6 +17,7 @@ import (
 	"github.com/tpset/tpset/internal/obs"
 	"github.com/tpset/tpset/internal/query"
 	"github.com/tpset/tpset/internal/relation"
+	"github.com/tpset/tpset/internal/segment"
 )
 
 // Config tunes a Server.
@@ -48,6 +50,17 @@ type Server struct {
 	mux     *http.ServeMux
 	started time.Time
 	metrics serverMetrics
+	mut     mutGate
+}
+
+// mutGate serializes catalog mutations with their mirror into the
+// segment store, so WAL record order always matches catalog version
+// order (two independent locks would let concurrent PUTs of one name
+// ack in one order and persist in the other). Reads — snapshots,
+// queries — never take it; the catalog and cache carry their own locks.
+type mutGate struct {
+	mu    sync.Mutex
+	store *segment.Store // nil = memory-only (no -data-dir)
 }
 
 // MaxWorkers bounds the per-request worker budget: the engine sizes its
@@ -185,10 +198,68 @@ func (r *statusRecorder) status() int {
 	return r.code
 }
 
+// AttachStore wires a durable segment store under the catalog: the
+// store's recovered relations (mmap-backed, frozen) seed the catalog
+// without re-ingesting, and every subsequent Load, PUT and DELETE is
+// mirrored into the store's WAL before it is acknowledged. Call it once,
+// after New and before serving or seeding; the caller keeps ownership of
+// the store's lifecycle (Flush on graceful shutdown, Close last).
+func (s *Server) AttachStore(st *segment.Store) error {
+	rels, dict, err := st.Restore()
+	if err != nil {
+		return err
+	}
+	s.mut.mu.Lock()
+	defer s.mut.mu.Unlock()
+	s.catalog.Restore(rels, dict)
+	s.mut.store = st
+	s.metrics.segmentsRestored.Add(uint64(st.SegmentCount()))
+	return nil
+}
+
+// putRelation is the shared tail of Load and PUT: admit into the
+// catalog, invalidate dependent cache entries, and mirror the admission
+// (plus any dictionary-rebuild sibling rewrites) into the attached
+// store. The WAL fsync inside store.Put is the durability point — a
+// persist error is returned so the caller answers non-2xx and the
+// client cannot take the write as durable, even though the in-memory
+// catalog is already ahead of disk (the next successful mutation or
+// restart re-converges them).
+func (s *Server) putRelation(name string, rel *relation.Relation) (version uint64, existed bool, err error) {
+	s.mut.mu.Lock()
+	defer s.mut.mu.Unlock()
+	version, existed, rebound := s.catalog.PutRebound(name, rel)
+	s.cache.InvalidateRelation(name)
+	if s.mut.store != nil {
+		if err := s.mut.store.Put(name, rel, rebound); err != nil {
+			return version, existed, fmt.Errorf("persisting relation %q: %w", name, err)
+		}
+	}
+	return version, existed, nil
+}
+
+// dropRelation is the shared tail of Drop and DELETE; like putRelation
+// it serializes the catalog mutation with its WAL mirror.
+func (s *Server) dropRelation(name string) (existed bool, invalidated int, err error) {
+	s.mut.mu.Lock()
+	defer s.mut.mu.Unlock()
+	if !s.catalog.Drop(name) {
+		return false, 0, nil
+	}
+	invalidated = s.cache.InvalidateRelation(name)
+	if s.mut.store != nil {
+		if err := s.mut.store.Drop(name); err != nil {
+			return true, invalidated, fmt.Errorf("persisting drop of %q: %w", name, err)
+		}
+	}
+	return true, invalidated, nil
+}
+
 // Load seeds or replaces a catalog relation programmatically (startup
 // seeding by cmd/tpserve; tests). Exactly like a PUT request, it checks
 // the name against the query grammar, validates duplicate-freeness,
-// sorts, bumps the version and invalidates dependent cache entries.
+// sorts, bumps the version, invalidates dependent cache entries and —
+// with an attached store — WAL-logs the admission before returning.
 //
 // Load and PUT are the only mutation paths: evaluation relies on catalog
 // relations being sorted and duplicate-free (it runs the drivers with
@@ -205,21 +276,22 @@ func (s *Server) Load(name string, rel *relation.Relation) (uint64, error) {
 		return 0, err
 	}
 	rel.Sort()
-	version, _ := s.catalog.Put(name, rel)
-	s.cache.InvalidateRelation(name)
+	version, _, err := s.putRelation(name, rel)
+	if err != nil {
+		return 0, err
+	}
 	s.metrics.admissions.Inc()
 	s.metrics.tuplesAdmitted.Add(uint64(rel.Len()))
 	return version, nil
 }
 
 // Drop removes a catalog relation and invalidates its dependent cache
-// entries; it reports whether the relation existed.
-func (s *Server) Drop(name string) bool {
-	if !s.catalog.Drop(name) {
-		return false
-	}
-	s.cache.InvalidateRelation(name)
-	return true
+// entries; it reports whether the relation existed. With an attached
+// store a persist failure surfaces as the error (the in-memory drop has
+// already happened).
+func (s *Server) Drop(name string) (bool, error) {
+	existed, _, err := s.dropRelation(name)
+	return existed, err
 }
 
 // Relations returns the catalog's relation names and versions, sorted by
@@ -488,8 +560,11 @@ func (s *Server) handlePutRelation(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
-	version, existed := s.catalog.Put(name, rel)
-	s.cache.InvalidateRelation(name)
+	version, existed, err := s.putRelation(name, rel)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	status := http.StatusCreated
 	if existed {
 		status = http.StatusOK
@@ -511,11 +586,15 @@ func (s *Server) handleGetRelation(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteRelation(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if !s.catalog.Drop(name) {
+	existed, invalidated, err := s.dropRelation(name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if !existed {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown relation %q", name))
 		return
 	}
-	invalidated := s.cache.InvalidateRelation(name)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"name": name, "dropped": true, "invalidatedCacheEntries": invalidated,
 	})
