@@ -45,6 +45,17 @@
 // merely re-admits (and persists) the seed relations. Without -data-dir
 // the catalog is memory-only and this contract does not apply.
 //
+// Robustness: per-query deadlines (-query-timeout, tightened per
+// request with "timeoutMillis" → 504), bounded admission
+// (-max-concurrent-queries / -max-queued-queries → 429 + Retry-After
+// under overload), result budgets (-max-result-tuples → 422; streams
+// abort with an NDJSON error trailer), and panic recovery (500 + stack
+// to the structured log, never a dead process). When a WAL write fails
+// — disk full, dying device — the store enters degraded read-only
+// mode: mutations answer 503, reads keep serving the restored catalog,
+// /healthz reports "degraded", and a background probe (-probe-interval)
+// re-enables writes once the disk recovers.
+//
 // Query bodies accept "trace":true to get a per-operator execution
 // trace in the response envelope (stream trailer for /query/stream).
 // -log-level enables structured JSON request logs; -debug-addr serves
@@ -68,6 +79,7 @@ import (
 
 	"github.com/tpset/tpset/internal/csvio"
 	"github.com/tpset/tpset/internal/datagen"
+	"github.com/tpset/tpset/internal/faultfs"
 	"github.com/tpset/tpset/internal/segment"
 	"github.com/tpset/tpset/internal/server"
 )
@@ -90,6 +102,20 @@ func main() {
 		logLevel  = flag.String("log-level", "", "enable JSON request logs to stderr at this level: debug|info|warn|error (empty disables)")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof debug endpoints on this address (empty disables)")
 		dataDir   = flag.String("data-dir", "", "durable segment directory: restore the catalog from it at startup and WAL every mutation (empty = memory-only)")
+
+		queryTimeout  = flag.Duration("query-timeout", 0, "per-query evaluation deadline; requests can tighten it with timeoutMillis but never exceed it (0 = none)")
+		maxConcurrent = flag.Int("max-concurrent-queries", 0, "queries evaluating at once (0 = 4x GOMAXPROCS, negative = unlimited)")
+		maxQueued     = flag.Int("max-queued-queries", 0, "queries waiting for an evaluation slot before 429 (0 = 4x the concurrency bound, negative = no queue)")
+		maxTuples     = flag.Int("max-result-tuples", 0, "result-size budget per query: overflow answers 422, streams abort with an error trailer (0 = unlimited)")
+		probeInterval = flag.Duration("probe-interval", server.DefaultProbeInterval, "degraded-store recovery probe cadence (with -data-dir)")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout: slowloris bound on request headers")
+		readTimeout       = flag.Duration("read-timeout", 2*time.Minute, "http.Server ReadTimeout: full-request-read bound, sized for 256MiB relation PUTs")
+		writeTimeout      = flag.Duration("write-timeout", 0, "http.Server WriteTimeout; 0 (the default) keeps long NDJSON streams alive — per-query work is bounded by -query-timeout instead")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+		maxHeaderBytes    = flag.Int("max-header-bytes", 1<<20, "http.Server MaxHeaderBytes")
+
+		chaosENOSPC = flag.String("chaos-enospc-file", "", "fault injection: while this file exists, every store write fails with a no-space error (chaos/CI only)")
 	)
 	flag.Parse()
 
@@ -105,12 +131,30 @@ func main() {
 		}
 		logger = slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 	}
-	srv := server.New(server.Config{Workers: *workers, CacheSize: cacheSize, Logger: logger})
+	srv := server.New(server.Config{
+		Workers:         *workers,
+		CacheSize:       cacheSize,
+		Logger:          logger,
+		QueryTimeout:    *queryTimeout,
+		MaxConcurrent:   *maxConcurrent,
+		MaxQueued:       *maxQueued,
+		MaxResultTuples: *maxTuples,
+	})
 
 	var store *segment.Store
 	if *dataDir != "" {
 		var err error
-		store, err = segment.OpenStore(*dataDir)
+		if *chaosENOSPC != "" {
+			// Chaos lane: the trigger FS fails every mutating operation
+			// with ENOSPC while the sentinel file exists, so CI can drive
+			// the whole disk-full → degraded → recovered arc end to end
+			// (touch the file, watch writes 503, remove it, watch the
+			// probe re-arm) without filling a real disk.
+			fmt.Fprintf(os.Stderr, "tpserve: CHAOS: writes fail with ENOSPC while %s exists\n", *chaosENOSPC)
+			store, err = segment.OpenStoreFS(*dataDir, faultfs.NewTrigger(faultfs.OS{}, *chaosENOSPC))
+		} else {
+			store, err = segment.OpenStore(*dataDir)
+		}
 		if err != nil {
 			fatalf("opening data dir %s: %v", *dataDir, err)
 		}
@@ -176,7 +220,24 @@ func main() {
 	// the flush only converges segments with the WAL.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// After a WAL write failure the store latches degraded (mutations
+	// 503, reads keep serving); this probe re-arms writes once the disk
+	// recovers. No-op without -data-dir.
+	srv.StartRecoveryProbe(ctx, *probeInterval)
+	// Timeout split: ReadHeaderTimeout/ReadTimeout/IdleTimeout bound
+	// slow or idle clients, but WriteTimeout stays 0 by default — it
+	// would kill long NDJSON streams mid-flight, and per-query work is
+	// already bounded by -query-timeout, which aborts the stream with a
+	// clean error trailer instead of a severed connection.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeaderBytes,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	select {

@@ -241,3 +241,40 @@ func Materialize(c Cursor) *relation.Relation {
 		out.Tuples = append(out.Tuples, t)
 	}
 }
+
+// MaterializeLimit is Materialize with a result-size budget: the drain
+// stops as soon as the output would exceed max tuples and reports
+// ok=false. A budget violation is a property of the query, not a
+// truncation point — the partial relation is returned only so callers
+// can report how far the drain got, and must not be served or cached as
+// the query's answer. max <= 0 means no budget.
+func MaterializeLimit(c Cursor, max int) (*relation.Relation, bool) {
+	if max <= 0 {
+		return Materialize(c), true
+	}
+	out := relation.New(c.Schema())
+	if bc, ok := c.(BatchCursor); ok {
+		b := GetBatch()
+		for bc.NextBatch(b) {
+			out.Tuples = append(out.Tuples, b.Tuples...)
+			if len(out.Tuples) > max {
+				PutBatch(b)
+				return out, false
+			}
+		}
+		PutBatch(b)
+		out.AdoptBinding()
+		return out, true
+	}
+	for {
+		t, ok := c.Next()
+		if !ok {
+			out.AdoptBinding()
+			return out, true
+		}
+		out.Tuples = append(out.Tuples, t)
+		if len(out.Tuples) > max {
+			return out, false
+		}
+	}
+}

@@ -159,14 +159,18 @@ func (e *Engine) CursorCtx(ctx context.Context, n query.Node, db map[string]*rel
 		if err != nil {
 			return nil, err
 		}
-		return &StreamCursor{
+		sc := &StreamCursor{
 			schema:    c.Schema(),
 			next:      c.Next,
 			nextBatch: core.AsBatchCursor(c).NextBatch,
 			// Close on an abandoned sequential plan releases the pooled
 			// blocks its operator buffers still hold.
 			stop: func() { core.ReleaseCursor(c) },
-		}, nil
+		}
+		if ctx.Done() != nil {
+			sequentialCheckpoints(ctx, sc)
+		}
+		return sc, nil
 	}
 
 	if opts.Validate {
@@ -444,6 +448,42 @@ func (e *Engine) CursorCtx(ctx context.Context, n query.Node, db map[string]*rel
 		}
 	}
 	return &StreamCursor{schema: curs[0].Schema(), nextBatch: nextBatch, stop: stopBatch}, nil
+}
+
+// ctxCheckEvery is how many tuple-wise pulls pass between context
+// checks on the sequential plan: frequent enough that a cancelled
+// request stops within microseconds of real work, rare enough that the
+// check is invisible next to the per-tuple sweep cost.
+const ctxCheckEvery = 256
+
+// sequentialCheckpoints threads cancellation into the sequential plan.
+// The partitioned plan observes cancellation for free — its producers
+// select on ctx.Done — but the sequential plan runs entirely on the
+// caller's goroutine and would otherwise sweep to completion after the
+// deadline fired. Checked once per NextBatch (a batch is already an
+// amortization unit) and every ctxCheckEvery Next calls.
+func sequentialCheckpoints(ctx context.Context, c *StreamCursor) {
+	next, nextBatch := c.next, c.nextBatch
+	if next != nil {
+		calls := 0
+		c.next = func() (relation.Tuple, bool) {
+			if calls++; calls >= ctxCheckEvery {
+				calls = 0
+				if ctx.Err() != nil {
+					return relation.Tuple{}, false
+				}
+			}
+			return next()
+		}
+	}
+	if nextBatch != nil {
+		c.nextBatch = func(b *core.Batch) bool {
+			if ctx.Err() != nil {
+				return false
+			}
+			return nextBatch(b)
+		}
+	}
 }
 
 // logShardDrained emits the per-shard completion record of a producer

@@ -1,24 +1,24 @@
 //go:build !(linux || darwin)
 
-package segment
+package faultfs
 
 import (
 	"fmt"
 	"os"
 )
 
-// readSegment falls back to a plain read on platforms without the mmap
+// mapFile falls back to a plain read on platforms without the mmap
 // path; columns then alias the heap buffer instead of a mapping, which
 // is still zero-copy relative to the decoded bytes.
-func readSegment(path string) (data []byte, mapped bool, err error) {
+func mapFile(path string) (data []byte, mapped bool, err error) {
 	data, err = os.ReadFile(path)
 	if err != nil {
 		return nil, false, err
 	}
 	if len(data) == 0 {
-		return nil, false, fmt.Errorf("segment: %s is empty", path)
+		return nil, false, fmt.Errorf("%s is empty", path)
 	}
 	return data, false, nil
 }
 
-func munmapData([]byte) error { return nil }
+func unmapBytes([]byte) error { return nil }

@@ -1,6 +1,6 @@
 //go:build linux || darwin
 
-package segment
+package faultfs
 
 import (
 	"fmt"
@@ -8,11 +8,11 @@ import (
 	"syscall"
 )
 
-// readSegment maps the file read-only. The mapping — not a copy — is
-// what Decode aliases the columns over, so opening a segment faults
+// mapFile maps the file read-only. The mapping — not a copy — is what
+// segment.Decode aliases the columns over, so opening a segment faults
 // pages in lazily off the page cache and a catalog open does no bulk
 // read at all.
-func readSegment(path string) (data []byte, mapped bool, err error) {
+func mapFile(path string) (data []byte, mapped bool, err error) {
 	fd, err := os.Open(path)
 	if err != nil {
 		return nil, false, err
@@ -24,16 +24,16 @@ func readSegment(path string) (data []byte, mapped bool, err error) {
 	}
 	size := st.Size()
 	if size == 0 {
-		return nil, false, fmt.Errorf("segment: %s is empty", path)
+		return nil, false, fmt.Errorf("%s is empty", path)
 	}
 	if size != int64(int(size)) {
-		return nil, false, fmt.Errorf("segment: %s exceeds the addressable mapping size", path)
+		return nil, false, fmt.Errorf("%s exceeds the addressable mapping size", path)
 	}
 	data, err = syscall.Mmap(int(fd.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
 	if err != nil {
-		return nil, false, fmt.Errorf("segment: mmap %s: %v", path, err)
+		return nil, false, fmt.Errorf("mmap %s: %v", path, err)
 	}
 	return data, true, nil
 }
 
-func munmapData(data []byte) error { return syscall.Munmap(data) }
+func unmapBytes(data []byte) error { return syscall.Munmap(data) }

@@ -35,6 +35,7 @@ import (
 	"math"
 	"unsafe"
 
+	"github.com/tpset/tpset/internal/faultfs"
 	"github.com/tpset/tpset/internal/interval"
 	"github.com/tpset/tpset/internal/invariant"
 	"github.com/tpset/tpset/internal/keys"
@@ -102,6 +103,7 @@ type File struct {
 
 	data   []byte
 	mapped bool
+	fsys   faultfs.FS
 }
 
 // Data returns the raw segment bytes (the mapping, when mmap'd).

@@ -1,6 +1,7 @@
 package segment
 
 import (
+	"errors"
 	"fmt"
 	"net/url"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/tpset/tpset/internal/faultfs"
 	"github.com/tpset/tpset/internal/keys"
 	"github.com/tpset/tpset/internal/relation"
 )
@@ -22,6 +24,24 @@ const walFileName = "wal.log"
 // or replay.
 const defaultApplyThreshold = 4 << 20
 
+// ErrDegraded marks a mutation rejected because the store has latched
+// degraded after a durability failure. Reads (the already-restored
+// catalog, existing mappings) remain valid; only new acknowledgements
+// are refused until TryRecover repairs the write path.
+var ErrDegraded = errors.New("segment: store is degraded")
+
+// WALError wraps a WAL append/fsync failure. A mutation returning it
+// was NOT acknowledged — nothing of it is durable — and the store has
+// latched degraded: a torn half-record may now sit in the log, and any
+// further append behind it would be unreachable at replay, so all
+// mutations are refused until TryRecover truncates the log cleanly.
+type WALError struct {
+	Err error
+}
+
+func (e *WALError) Error() string { return fmt.Sprintf("segment: wal write failed: %v", e.Err) }
+func (e *WALError) Unwrap() error { return e.Err }
+
 // Store is the durable tier of one catalog: a directory of one segment
 // file per relation plus the WAL. All methods are safe for concurrent
 // use; relations handed to Put must be the catalog's immutable admitted
@@ -32,15 +52,18 @@ const defaultApplyThreshold = 4 << 20
 // snapshots may still read the aliased columns — so Close must only
 // run once serving has stopped.
 type Store struct {
-	dir string
+	dir  string
+	fsys faultfs.FS
 
 	mu             sync.Mutex
-	wal            *os.File
+	wal            faultfs.File
 	walSize        int64
 	seq            uint64
 	pending        map[string]pendingOp
 	files          []*File
 	applyThreshold int64
+	degraded       error // non-nil = degraded, holding the root cause
+	walErrors      uint64
 }
 
 // pendingOp is one not-yet-applied catalog mutation. payload carries
@@ -62,18 +85,24 @@ func segFileName(name string) string { return url.PathEscape(name) + ".seg" }
 
 // OpenFile maps (or, off unix, reads) and decodes one segment file.
 func OpenFile(path string) (*File, error) {
-	data, mapped, err := readSegment(path)
+	return OpenFileFS(faultfs.OS{}, path)
+}
+
+// OpenFileFS is OpenFile against an explicit filesystem.
+func OpenFileFS(fsys faultfs.FS, path string) (*File, error) {
+	data, mapped, err := fsys.MapFile(path)
 	if err != nil {
 		return nil, prefixed(err)
 	}
 	f, err := Decode(data)
 	if err != nil {
 		if mapped {
-			munmapData(data)
+			fsys.Unmap(data)
 		}
 		return nil, fmt.Errorf("%v (in %s)", err, path)
 	}
 	f.mapped = mapped
+	f.fsys = fsys
 	return f, nil
 }
 
@@ -86,33 +115,39 @@ func (f *File) Close() error {
 	f.mapped = false
 	data := f.data
 	f.data = nil
-	return munmapData(data)
+	return f.fsys.Unmap(data)
 }
 
-// OpenStore opens (creating if needed) the data dir: leftover *.tmp
+// OpenStore opens (creating if needed) the data dir on the real
+// filesystem. See OpenStoreFS.
+func OpenStore(dir string) (*Store, error) {
+	return OpenStoreFS(dir, faultfs.OS{})
+}
+
+// OpenStoreFS opens (creating if needed) the data dir: leftover *.tmp
 // files from torn renames are removed, the WAL's valid prefix is
 // replayed into segment files and the WAL truncated, and every segment
 // is memory-mapped and decoded. A segment that fails validation —
 // torn, truncated, bit-flipped — fails the open loudly rather than
 // serving partial data.
-func OpenStore(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func OpenStoreFS(dir string, fsys faultfs.FS) (*Store, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("segment: create data dir: %v", err)
 	}
-	entries, err := os.ReadDir(dir)
+	names, err := fsys.ReadDirNames(dir)
 	if err != nil {
 		return nil, fmt.Errorf("segment: read data dir: %v", err)
 	}
-	for _, e := range entries {
-		if strings.HasSuffix(e.Name(), ".tmp") {
-			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
-				return nil, fmt.Errorf("segment: remove leftover %s: %v", e.Name(), err)
+	for _, name := range names {
+		if strings.HasSuffix(name, ".tmp") {
+			if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
+				return nil, fmt.Errorf("segment: remove leftover %s: %v", name, err)
 			}
 		}
 	}
 
 	walPath := filepath.Join(dir, walFileName)
-	walData, err := os.ReadFile(walPath)
+	walData, err := fsys.ReadFile(walPath)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, fmt.Errorf("segment: read wal: %v", err)
 	}
@@ -126,21 +161,24 @@ func OpenStore(dir string) (*Store, error) {
 			if _, err := Decode(rec.payload); err != nil {
 				return nil, fmt.Errorf("segment: wal record %d for %q: %v", rec.seq, rec.name, err)
 			}
-			if err := writeSegmentFile(dir, rec.name, rec.payload); err != nil {
+			if err := writeSegmentFile(fsys, dir, rec.name, rec.payload); err != nil {
 				return nil, err
 			}
 		case opDrop:
-			if err := os.Remove(filepath.Join(dir, segFileName(rec.name))); err != nil && !os.IsNotExist(err) {
+			if err := fsys.Remove(filepath.Join(dir, segFileName(rec.name))); err != nil && !os.IsNotExist(err) {
 				return nil, fmt.Errorf("segment: apply wal drop of %q: %v", rec.name, err)
 			}
+		case opNoop:
+			// Recovery probe records prove the write path; they carry no
+			// catalog mutation.
 		}
 	}
 	if len(recs) > 0 {
-		if err := syncDir(dir); err != nil {
+		if err := syncDir(fsys, dir); err != nil {
 			return nil, err
 		}
 	}
-	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	wal, err := fsys.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("segment: open wal: %v", err)
 	}
@@ -156,7 +194,7 @@ func OpenStore(dir string) (*Store, error) {
 			return nil, fmt.Errorf("segment: sync wal: %v", err)
 		}
 		if !walExisted {
-			if err := syncDir(dir); err != nil {
+			if err := syncDir(fsys, dir); err != nil {
 				wal.Close()
 				return nil, err
 			}
@@ -165,24 +203,25 @@ func OpenStore(dir string) (*Store, error) {
 
 	s := &Store{
 		dir:            dir,
+		fsys:           fsys,
 		wal:            wal,
 		pending:        make(map[string]pendingOp),
 		applyThreshold: defaultApplyThreshold,
 	}
-	entries, err = os.ReadDir(dir)
+	names, err = fsys.ReadDirNames(dir)
 	if err != nil {
 		s.Close()
 		return nil, fmt.Errorf("segment: read data dir: %v", err)
 	}
 	var segNames []string
-	for _, e := range entries {
-		if strings.HasSuffix(e.Name(), ".seg") {
-			segNames = append(segNames, e.Name())
+	for _, name := range names {
+		if strings.HasSuffix(name, ".seg") {
+			segNames = append(segNames, name)
 		}
 	}
 	// Segments map and decode independently, so open them concurrently:
 	// restart latency is bounded by the largest segment, not the catalog
-	// size. ReadDir order keeps s.files deterministic.
+	// size. ReadDirNames order keeps s.files deterministic.
 	files := make([]*File, len(segNames))
 	errs := make([]error, len(segNames))
 	var wg sync.WaitGroup
@@ -190,7 +229,7 @@ func OpenStore(dir string) (*Store, error) {
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
-			f, err := OpenFile(filepath.Join(dir, name))
+			f, err := OpenFileFS(fsys, filepath.Join(dir, name))
 			if err == nil && segFileName(f.Name) != name {
 				f.Close()
 				f, err = nil, fmt.Errorf("segment: %s embeds relation name %q, which belongs in %s", name, f.Name, segFileName(f.Name))
@@ -201,6 +240,8 @@ func OpenStore(dir string) (*Store, error) {
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
+			// A midway failure must not leak the segments that did map:
+			// close (munmap) every one before returning.
 			for _, f := range files {
 				if f != nil {
 					f.Close()
@@ -262,13 +303,78 @@ func (s *Store) SegmentCount() int {
 	return len(s.files)
 }
 
+// Degraded returns the failure that latched the store degraded, or nil
+// when the write path is healthy.
+func (s *Store) Degraded() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
+// WALErrorCount returns how many durability failures (WAL append/fsync
+// or apply) the store has observed.
+func (s *Store) WALErrorCount() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walErrors
+}
+
+// degradeLocked latches the store read-only, recording the root cause.
+func (s *Store) degradeLocked(cause error) {
+	s.walErrors++
+	if s.degraded == nil {
+		s.degraded = cause
+	}
+}
+
+// TryRecover attempts to re-arm the write path after a degradation:
+// pending mutations are re-applied to segment files (truncating the
+// WAL back to a clean empty state — a retry of the apply that the WAL
+// has made safe to repeat), and a no-op probe record is appended and
+// fsynced to prove appends work again. On success the store is healthy;
+// on failure it stays degraded and returns the fresh cause. Safe to
+// call periodically from a background probe.
+func (s *Store) TryRecover() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.degraded == nil {
+		return nil
+	}
+	// applyLocked flushes pending ops; resetWALLocked then truncates the
+	// log unconditionally — even when nothing was pending, a torn
+	// half-record may sit in the file, and appending the probe after it
+	// would strand every later record beyond an invalid prefix.
+	if err := s.applyLocked(); err != nil {
+		s.walErrors++
+		s.degraded = err
+		return err
+	}
+	if err := s.resetWALLocked(); err != nil {
+		s.walErrors++
+		s.degraded = err
+		return err
+	}
+	if err := s.appendLocked(opNoop, "", nil); err != nil {
+		s.degraded = err
+		return err
+	}
+	s.degraded = nil
+	return nil
+}
+
 // Put makes a catalog put durable: the encoded segment is appended to
-// the WAL and fsynced — once Put returns, the relation survives any
+// the WAL and fsynced — once Put returns nil, the relation survives any
 // crash — and the segment files are rewritten at the next apply.
 // rebound carries the sibling relations a dictionary rebuild rebound
 // at admission (nil when the dictionary was reused); scheduling their
 // rewrite keeps all on-disk segments on one dictionary generation, so
 // the next restart aliases every relation.
+//
+// A *WALError return means the mutation was not acknowledged and the
+// store is now degraded. An apply failure after a successful append
+// also degrades the store but does NOT fail the Put: the mutation is
+// durable in the WAL and will be re-applied by TryRecover or replayed
+// at the next open.
 func (s *Store) Put(name string, rel *relation.Relation, rebound map[string]*relation.Relation) error {
 	if rel.Schema.Name != name {
 		return fmt.Errorf("segment: put of %q with schema name %q", name, rel.Schema.Name)
@@ -279,6 +385,9 @@ func (s *Store) Put(name string, rel *relation.Relation, rebound map[string]*rel
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.degraded != nil {
+		return fmt.Errorf("%w: %v", ErrDegraded, s.degraded)
+	}
 	if err := s.appendLocked(opPut, name, payload); err != nil {
 		return err
 	}
@@ -289,19 +398,28 @@ func (s *Store) Put(name string, rel *relation.Relation, rebound map[string]*rel
 		}
 		s.pending[other] = pendingOp{rel: r}
 	}
-	return s.maybeApplyLocked()
+	if err := s.maybeApplyLocked(); err != nil {
+		s.degradeLocked(err)
+	}
+	return nil
 }
 
 // Drop makes a catalog drop durable; the segment file is removed at
-// the next apply.
+// the next apply. Error semantics match Put.
 func (s *Store) Drop(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.degraded != nil {
+		return fmt.Errorf("%w: %v", ErrDegraded, s.degraded)
+	}
 	if err := s.appendLocked(opDrop, name, nil); err != nil {
 		return err
 	}
 	s.pending[name] = pendingOp{drop: true}
-	return s.maybeApplyLocked()
+	if err := s.maybeApplyLocked(); err != nil {
+		s.degradeLocked(err)
+	}
+	return nil
 }
 
 // Flush applies every pending mutation to segment files and truncates
@@ -335,19 +453,27 @@ func (s *Store) Close() error {
 }
 
 // appendLocked writes and fsyncs one WAL record — the durability
-// point.
+// point. The sequence number only advances on success: a failed write
+// may have left a torn half-record, and advancing past it would make
+// any later record unreachable at replay (the valid prefix ends at the
+// tear), silently losing an acknowledged mutation. Failure therefore
+// wraps in *WALError and latches the store degraded.
 func (s *Store) appendLocked(op byte, name string, payload []byte) error {
 	if len(name) > 0xFFFF {
 		return fmt.Errorf("segment: relation name longer than 65535 bytes")
 	}
-	s.seq++
-	rec := encodeRecord(s.seq, op, name, payload)
+	rec := encodeRecord(s.seq+1, op, name, payload)
 	if _, err := s.wal.Write(rec); err != nil {
-		return fmt.Errorf("segment: append wal: %v", err)
+		werr := &WALError{Err: err}
+		s.degradeLocked(werr)
+		return werr
 	}
 	if err := s.wal.Sync(); err != nil {
-		return fmt.Errorf("segment: sync wal: %v", err)
+		werr := &WALError{Err: err}
+		s.degradeLocked(werr)
+		return werr
 	}
+	s.seq++
 	s.walSize += int64(len(rec))
 	return nil
 }
@@ -369,7 +495,7 @@ func (s *Store) applyLocked() error {
 	}
 	for name, op := range s.pending {
 		if op.drop {
-			if err := os.Remove(filepath.Join(s.dir, segFileName(name))); err != nil && !os.IsNotExist(err) {
+			if err := s.fsys.Remove(filepath.Join(s.dir, segFileName(name))); err != nil && !os.IsNotExist(err) {
 				return fmt.Errorf("segment: drop %q: %v", name, err)
 			}
 			continue
@@ -381,13 +507,25 @@ func (s *Store) applyLocked() error {
 				return err
 			}
 		}
-		if err := writeSegmentFile(s.dir, name, payload); err != nil {
+		if err := writeSegmentFile(s.fsys, s.dir, name, payload); err != nil {
 			return err
 		}
 	}
-	if err := syncDir(s.dir); err != nil {
+	if err := syncDir(s.fsys, s.dir); err != nil {
 		return err
 	}
+	if err := s.resetWALLocked(); err != nil {
+		return err
+	}
+	s.pending = make(map[string]pendingOp)
+	return nil
+}
+
+// resetWALLocked truncates the WAL to a clean, fsynced empty file and
+// rewinds the sequence counter. Safe only once nothing in the log is
+// still needed: every record has been folded into segment files (or was
+// garbage past the valid prefix).
+func (s *Store) resetWALLocked() error {
 	if err := s.wal.Truncate(0); err != nil {
 		return fmt.Errorf("segment: truncate wal: %v", err)
 	}
@@ -398,36 +536,35 @@ func (s *Store) applyLocked() error {
 		return fmt.Errorf("segment: sync wal: %v", err)
 	}
 	s.walSize, s.seq = 0, 0
-	s.pending = make(map[string]pendingOp)
 	return nil
 }
 
 // writeSegmentFile writes payload as dir/<name>.seg atomically: a
 // fsynced temp file renamed into place, so any crash leaves either the
 // old segment or the new one, never a torn mix.
-func writeSegmentFile(dir, name string, payload []byte) error {
+func writeSegmentFile(fsys faultfs.FS, dir, name string, payload []byte) error {
 	seg := filepath.Join(dir, segFileName(name))
 	tmp := seg + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("segment: write %q: %v", name, err)
 	}
 	if _, err := f.Write(payload); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("segment: write %q: %v", name, err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("segment: sync %q: %v", name, err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("segment: close %q: %v", name, err)
 	}
-	if err := os.Rename(tmp, seg); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, seg); err != nil {
+		fsys.Remove(tmp)
 		return fmt.Errorf("segment: rename %q into place: %v", name, err)
 	}
 	return nil
@@ -435,13 +572,8 @@ func writeSegmentFile(dir, name string, payload []byte) error {
 
 // syncDir fsyncs the directory so renames and removals are themselves
 // durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("segment: open data dir for sync: %v", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+func syncDir(fsys faultfs.FS, dir string) error {
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("segment: sync data dir: %v", err)
 	}
 	return nil

@@ -23,6 +23,10 @@ import (
 const (
 	opPut  = 1
 	opDrop = 2
+	// opNoop is the degraded-recovery probe: appended by TryRecover to
+	// prove the append+fsync path works again. It mutates nothing at
+	// replay but occupies a sequence number like any record.
+	opNoop = 3
 )
 
 type walRecord struct {
@@ -64,7 +68,7 @@ func replayWAL(data []byte) []walRecord {
 			return recs
 		}
 		op := rest[8]
-		if op != opPut && op != opDrop {
+		if op != opPut && op != opDrop && op != opNoop {
 			return recs
 		}
 		nameLen := int(binary.LittleEndian.Uint16(rest[9:]))

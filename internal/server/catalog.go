@@ -184,6 +184,42 @@ func factKeys(r *relation.Relation, dst []string) []string {
 	return dst
 }
 
+// Checkpoint captures the catalog's relation table and dictionary so a
+// mutation whose durable mirror fails can be rolled back (Rollback).
+// The snapshot is consistent on its own, but it stays valid as a
+// rollback target only while no other mutation lands between Checkpoint
+// and Rollback — the server's mutGate provides exactly that
+// serialization. Entries are copied by value; the relation pointers are
+// shared, which is safe because stored relations are immutable.
+type Checkpoint struct {
+	rels map[string]catEntry
+	dict *keys.Dict
+}
+
+// Checkpoint snapshots the current relation table and dictionary.
+func (c *Catalog) Checkpoint() Checkpoint {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	rels := make(map[string]catEntry, len(c.rels))
+	for name, e := range c.rels {
+		rels[name] = e
+	}
+	return Checkpoint{rels: rels, dict: c.dict}
+}
+
+// Rollback restores the relation table and dictionary captured by cp.
+// The clock is deliberately NOT rolled back: versions are cache-key
+// material, and re-issuing one after a rollback could alias a result
+// cached against the rolled-back state. A post-rollback catalog is
+// bitwise the pre-mutation catalog except for a gap in the version
+// sequence, which nothing keys on.
+func (c *Catalog) Rollback(cp Checkpoint) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rels = cp.rels
+	c.dict = cp.dict
+}
+
 // Get returns the relation under name and its version.
 func (c *Catalog) Get(name string) (*relation.Relation, uint64, bool) {
 	c.mu.RLock()

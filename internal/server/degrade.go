@@ -1,0 +1,138 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"github.com/tpset/tpset/internal/segment"
+)
+
+// Degraded read-only mode. When the attached store's WAL append or
+// fsync fails — disk full, dying device — the store latches degraded
+// (segment.Store.Degraded) and the server follows: mutations are
+// refused with 503 before they touch the catalog, so memory and disk
+// never diverge during the outage, while reads keep serving the
+// in-memory/mmap catalog exactly as before. A background probe
+// (StartRecoveryProbe) retries the store's recovery sequence until the
+// disk returns, after which writes re-arm without a restart. /healthz
+// reports the state so operators and load balancers can see it.
+
+// DefaultProbeInterval is the recovery probe cadence when the caller
+// passes none: frequent enough that a transient ENOSPC (log rotation,
+// compaction elsewhere) clears in seconds, rare enough that a dead disk
+// costs one failed append per interval.
+const DefaultProbeInterval = 5 * time.Second
+
+// degradedRetryAfter is the Retry-After hint on 503 responses while
+// degraded — the probe cadence, since recovery cannot happen faster.
+const degradedRetryAfter = 5
+
+// store returns the attached segment store (nil without -data-dir).
+// The pointer is written once by AttachStore before serving starts, but
+// reading it under the gate keeps the mutGate access discipline uniform.
+func (s *Server) store() *segment.Store {
+	s.mut.mu.Lock()
+	defer s.mut.mu.Unlock()
+	return s.mut.store
+}
+
+// storeDegraded returns the store's degradation cause, nil when healthy
+// or memory-only.
+func (s *Server) storeDegraded() error {
+	st := s.store()
+	if st == nil {
+		return nil
+	}
+	return st.Degraded()
+}
+
+// storeWALErrors returns the store's cumulative WAL write-failure
+// count, 0 when memory-only.
+func (s *Server) storeWALErrors() uint64 {
+	st := s.store()
+	if st == nil {
+		return 0
+	}
+	return st.WALErrorCount()
+}
+
+// degradedLocked refuses a mutation while the store is degraded —
+// checked before the catalog is touched, which is what keeps the
+// in-memory catalog and the disk in agreement throughout an outage.
+// The caller holds mut.mu.
+func (s *Server) degradedLocked() error {
+	if s.mut.store == nil {
+		return nil
+	}
+	if cause := s.mut.store.Degraded(); cause != nil {
+		return &httpError{status: http.StatusServiceUnavailable,
+			msg:        fmt.Sprintf("store degraded (%v): mutations refused until the disk recovers; reads still served", cause),
+			retryAfter: degradedRetryAfter}
+	}
+	return nil
+}
+
+// persistError classifies a store mutation failure: WAL-level failures
+// (the append or fsync that would have been the acknowledgement) map to
+// 503 — the caller must retry after recovery, nothing was lost —
+// anything else stays a 500.
+func persistError(verb, name string, err error) error {
+	msg := fmt.Sprintf("persisting %s %q: %v", verb, name, err)
+	var werr *segment.WALError
+	if errors.Is(err, segment.ErrDegraded) || errors.As(err, &werr) {
+		return &httpError{status: http.StatusServiceUnavailable,
+			msg:        msg + " (store degraded; retry after recovery)",
+			retryAfter: degradedRetryAfter}
+	}
+	return errors.New(msg)
+}
+
+// StartRecoveryProbe launches the background re-arm loop: every
+// interval (DefaultProbeInterval when <= 0) it checks the store and,
+// if degraded, runs segment.Store.TryRecover — flush what the WAL
+// already acknowledged, truncate any torn tail, prove append+fsync
+// works again with a no-op record. On success the store un-latches and
+// mutations flow again. The goroutine exits when ctx is cancelled; a
+// memory-only server starts nothing.
+func (s *Server) StartRecoveryProbe(ctx context.Context, interval time.Duration) {
+	st := s.store()
+	if st == nil {
+		return
+	}
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+			cause := st.Degraded()
+			if cause == nil {
+				continue
+			}
+			if err := st.TryRecover(); err != nil {
+				s.logDegrade(ctx, slog.LevelWarn, "recovery probe failed; store stays degraded", err)
+				continue
+			}
+			s.logDegrade(ctx, slog.LevelInfo, "store recovered; mutations re-enabled", cause)
+		}
+	}()
+}
+
+// logDegrade emits a degraded-mode transition record when logging is
+// configured; err carries the probe failure or the cleared cause.
+func (s *Server) logDegrade(ctx context.Context, level slog.Level, msg string, err error) {
+	if s.cfg.Logger == nil {
+		return
+	}
+	s.cfg.Logger.LogAttrs(ctx, level, msg, slog.Any("cause", err))
+}

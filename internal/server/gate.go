@@ -1,0 +1,126 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+)
+
+// Admission control for the query paths: a semaphore bounds the queries
+// evaluating at once and a bounded counter bounds the queries waiting
+// for a slot. Work beyond both bounds is shed immediately — a 429 with
+// a Retry-After hint costs microseconds, whereas admitting it would
+// cost the already-admitted queries their memory and cache locality and
+// the shed client a long wait for an answer it may no longer want. The
+// gate covers evaluation only: cache hits, catalog reads and health
+// checks stay ungated, so /healthz answers even under full overload.
+
+// errShed is returned by admissionGate.acquire when the evaluation
+// slots and the wait queue are both full.
+var errShed = errors.New("server: query shed: evaluation slots and wait queue full")
+
+// admissionGate is the bounded semaphore + bounded wait queue. A nil
+// gate (Config.MaxConcurrent < 0) admits everything.
+type admissionGate struct {
+	sem      chan struct{} // buffered; a held slot is one queued element
+	maxQueue int64
+	queued   atomic.Int64
+}
+
+// newGate sizes the gate from the config knobs: maxConcurrent 0 picks
+// 4x GOMAXPROCS (queries spend their time on CPU-bound sweeps, so a
+// small multiple of the cores saturates the machine while bounding
+// memory), negative disables the gate. maxQueued 0 picks 4x the
+// concurrency bound; negative means no queue — overflow sheds at once.
+func newGate(maxConcurrent, maxQueued int) *admissionGate {
+	if maxConcurrent < 0 {
+		return nil
+	}
+	if maxConcurrent == 0 {
+		maxConcurrent = 4 * runtime.GOMAXPROCS(0)
+	}
+	if maxQueued == 0 {
+		maxQueued = 4 * maxConcurrent
+	}
+	if maxQueued < 0 {
+		maxQueued = 0
+	}
+	return &admissionGate{
+		sem:      make(chan struct{}, maxConcurrent),
+		maxQueue: int64(maxQueued),
+	}
+}
+
+// acquire claims an evaluation slot: immediately when one is free,
+// after a bounded wait otherwise. It returns errShed when the wait
+// queue is full too, or the context error if the caller's deadline
+// fires while queued. A nil error means the caller owns a slot and must
+// release it.
+func (g *admissionGate) acquire(ctx context.Context) error {
+	if g == nil {
+		return nil
+	}
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		return errShed
+	}
+	defer g.queued.Add(-1)
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot claimed by a successful acquire.
+func (g *admissionGate) release() {
+	if g == nil {
+		return
+	}
+	<-g.sem
+}
+
+// inflight reports the slots currently held (a metrics gauge).
+func (g *admissionGate) inflight() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.sem)
+}
+
+// queuedNow reports the callers currently waiting (a metrics gauge).
+func (g *admissionGate) queuedNow() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.queued.Load()
+}
+
+// admissionError maps an acquire failure onto its HTTP shape: shed
+// becomes 429 with a Retry-After hint, a deadline that fired while
+// queued becomes the same 504 an evaluation timeout produces, and a
+// plain client cancellation passes through (the client is gone; the
+// status is moot).
+func (s *Server) admissionError(err error) error {
+	switch {
+	case errors.Is(err, errShed):
+		s.metrics.queriesShed.Inc()
+		return &httpError{status: http.StatusTooManyRequests,
+			msg:        "server at capacity: concurrent-query limit and wait queue are full",
+			retryAfter: 1}
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.queriesTimedOut.Inc()
+		return &httpError{status: http.StatusGatewayTimeout,
+			msg: "query deadline exceeded while waiting for an evaluation slot"}
+	default:
+		return err
+	}
+}

@@ -1,0 +1,406 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tpset/tpset/internal/datagen"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, desc string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", desc)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// blockEvals installs the evaluation hook that parks every admitted
+// query until release is closed (or its context fires), restoring the
+// hook on cleanup.
+func blockEvals(t *testing.T) (release chan struct{}) {
+	t.Helper()
+	release = make(chan struct{})
+	testHookEvalStart = func(ctx context.Context) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+	t.Cleanup(func() { testHookEvalStart = nil })
+	return release
+}
+
+// The admission gate under overload: with every evaluation slot held
+// and the wait queue full, further queries are shed with 429 +
+// Retry-After within the latency budget, /healthz and catalog
+// mutations stay responsive, and once the holders finish the gate
+// accounting returns to zero with no goroutine left behind. Run under
+// -race this is also the locking stress for the gate itself.
+func TestOverloadShedsFastAndRecovers(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+	srv, ts := newGovTestServer(t, Config{Workers: 1, MaxConcurrent: 2, MaxQueued: 1})
+	release := blockEvals(t)
+
+	const holders = 3 // 2 slots + 1 queue position
+	statuses := make(chan int, holders)
+	var wg sync.WaitGroup
+	for i := 0; i < holders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/query", "application/json",
+				strings.NewReader(`{"query":"r | s","noCache":true}`))
+			if err != nil {
+				statuses <- -1
+				return
+			}
+			resp.Body.Close()
+			statuses <- resp.StatusCode
+		}()
+	}
+	waitFor(t, "gate saturation", func() bool {
+		return srv.gate.inflight() == 2 && srv.gate.queuedNow() == 1
+	})
+
+	// Overflow is shed, fast, with the retry hint.
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		resp, body := do(t, "POST", ts.URL+"/query", QueryRequest{Query: "r | s", NoCache: true})
+		if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+			t.Errorf("shed %d took %v; want < 100ms", i, elapsed)
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("shed %d: status %d, body %s", i, resp.StatusCode, body)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "1" {
+			t.Fatalf("shed %d: Retry-After = %q, want \"1\"", i, ra)
+		}
+		if !strings.Contains(string(body), "capacity") {
+			t.Fatalf("shed %d: body %s", i, body)
+		}
+	}
+
+	// The control plane is not behind the gate: health answers fast and
+	// catalog replacements land while every slot is held.
+	start := time.Now()
+	if resp, _ := do(t, "GET", ts.URL+"/healthz", nil); resp.StatusCode != 200 {
+		t.Fatalf("healthz under overload: %d", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("healthz under overload took %v; want < 100ms", elapsed)
+	}
+	govSeed(t, srv, "s", 99)
+
+	close(release)
+	wg.Wait()
+	close(statuses)
+	for st := range statuses {
+		if st != http.StatusOK {
+			t.Fatalf("held query finished with status %d", st)
+		}
+	}
+	waitFor(t, "gate drained", func() bool {
+		return srv.gate.inflight() == 0 && srv.gate.queuedNow() == 0
+	})
+	if got := srv.snapshotMetrics().QueriesShed; got < 5 {
+		t.Fatalf("QueriesShed = %d, want >= 5", got)
+	}
+	http.DefaultClient.CloseIdleConnections()
+	waitFor(t, "goroutines to settle", func() bool {
+		return runtime.NumGoroutine() <= baseGoroutines+4
+	})
+}
+
+// Deadlines: a server-wide QueryTimeout answers 504 and counts, a
+// request's timeoutMillis works without a server default, and a
+// request can tighten but never exceed the server bound.
+func TestQueryDeadlines(t *testing.T) {
+	t.Run("server timeout", func(t *testing.T) {
+		srv, ts := newGovTestServer(t, Config{Workers: 1, QueryTimeout: 30 * time.Millisecond})
+		blockEvals(t) // parks until the deadline fires
+		resp, body := do(t, "POST", ts.URL+"/query", QueryRequest{Query: "r | s", NoCache: true})
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("status %d, body %s", resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), "deadline") {
+			t.Fatalf("body %s", body)
+		}
+		if got := srv.snapshotMetrics().QueriesTimedOut; got == 0 {
+			t.Fatal("QueriesTimedOut = 0 after a 504")
+		}
+	})
+	t.Run("request timeout", func(t *testing.T) {
+		_, ts := newGovTestServer(t, Config{Workers: 1})
+		blockEvals(t)
+		resp, body := do(t, "POST", ts.URL+"/query",
+			QueryRequest{Query: "r | s", NoCache: true, TimeoutMillis: 30})
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("status %d, body %s", resp.StatusCode, body)
+		}
+	})
+	t.Run("request cannot exceed server cap", func(t *testing.T) {
+		_, ts := newGovTestServer(t, Config{Workers: 1, QueryTimeout: 30 * time.Millisecond})
+		blockEvals(t)
+		start := time.Now()
+		resp, _ := do(t, "POST", ts.URL+"/query",
+			QueryRequest{Query: "r | s", NoCache: true, TimeoutMillis: 60_000})
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("server cap did not apply: took %v", elapsed)
+		}
+	})
+	t.Run("negative timeout rejected", func(t *testing.T) {
+		_, ts := newGovTestServer(t, Config{Workers: 1})
+		resp, body := do(t, "POST", ts.URL+"/query",
+			QueryRequest{Query: "r | s", TimeoutMillis: -1})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, body %s", resp.StatusCode, body)
+		}
+	})
+	t.Run("stream deadline ends in error trailer", func(t *testing.T) {
+		_, ts := newGovTestServer(t, Config{Workers: 1})
+		blockEvals(t)
+		resp, body := do(t, "POST", ts.URL+"/query/stream",
+			QueryRequest{Query: "r | s", TimeoutMillis: 30})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d (stream failures report via the trailer)", resp.StatusCode)
+		}
+		trailer := lastTrailer(t, body)
+		if trailer.Done || !strings.Contains(trailer.Error, "deadline") {
+			t.Fatalf("trailer = %+v; want done=false with a deadline error", trailer)
+		}
+	})
+}
+
+// The result budget: a query whose output exceeds MaxResultTuples is a
+// clean client error on the materialized path and a valid NDJSON abort
+// on the stream path — never a silent truncation.
+func TestResultBudget(t *testing.T) {
+	srv, ts := newGovTestServer(t, Config{Workers: 1, MaxResultTuples: 100})
+
+	resp, body := do(t, "POST", ts.URL+"/query", QueryRequest{Query: "r", NoCache: true})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "maxResultTuples") {
+		t.Fatalf("body %s", body)
+	}
+
+	resp, body = do(t, "POST", ts.URL+"/query/stream", QueryRequest{Query: "r"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	tuples, trailer := parseStream(t, body)
+	if tuples > 100 {
+		t.Fatalf("stream shipped %d tuples past a 100-tuple budget", tuples)
+	}
+	if trailer.Done || !strings.Contains(trailer.Error, "maxResultTuples") {
+		t.Fatalf("trailer = %+v; want done=false with a budget error", trailer)
+	}
+
+	// Within budget everything behaves as before.
+	tiny := datagen.Synthetic(datagen.SyntheticConfig{
+		Name: "tiny", NumTuples: 10, NumFacts: 2, MaxLen: 4, MaxGap: 2, Seed: 3,
+	})
+	if _, err := srv.Load("tiny", tiny); err != nil {
+		t.Fatal(err)
+	}
+	if resp, body := do(t, "POST", ts.URL+"/query",
+		QueryRequest{Query: "tiny", NoCache: true}); resp.StatusCode != 200 {
+		t.Fatalf("in-budget query: status %d, body %s", resp.StatusCode, body)
+	}
+	if got := srv.snapshotMetrics().Evaluations; got == 0 {
+		t.Fatal("no evaluation recorded for the in-budget query")
+	}
+}
+
+// A panic during evaluation costs its request a 500, not the process:
+// the next request is served normally and the counter records it.
+func TestPanicRecoveryMaterialized(t *testing.T) {
+	srv, ts := newGovTestServer(t, Config{Workers: 1})
+	testHookEvalStart = func(context.Context) { panic("kaboom") }
+	t.Cleanup(func() { testHookEvalStart = nil })
+
+	resp, body := do(t, "POST", ts.URL+"/query", QueryRequest{Query: "r | s", NoCache: true})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "internal error") {
+		t.Fatalf("body %s", body)
+	}
+	testHookEvalStart = nil
+	if resp, _ := do(t, "GET", ts.URL+"/healthz", nil); resp.StatusCode != 200 {
+		t.Fatalf("server dead after recovered panic: %d", resp.StatusCode)
+	}
+	if resp, _ := do(t, "POST", ts.URL+"/query",
+		QueryRequest{Query: "r | s", NoCache: true}); resp.StatusCode != 200 {
+		t.Fatalf("query after recovered panic: %d", resp.StatusCode)
+	}
+	if got := srv.snapshotMetrics().PanicsRecovered; got != 1 {
+		t.Fatalf("PanicsRecovered = %d, want 1", got)
+	}
+}
+
+// A panic after streaming started cannot un-send the 200 — but it must
+// still terminate the stream as valid NDJSON: every line parses, and
+// the last one is an error trailer, not a severed connection.
+func TestPanicRecoveryMidStream(t *testing.T) {
+	srv, ts := newGovTestServer(t, Config{Workers: 1})
+	testHookStreamBatch = func(shipped int) {
+		if shipped > 0 {
+			panic("mid-stream kaboom")
+		}
+	}
+	t.Cleanup(func() { testHookStreamBatch = nil })
+
+	resp, body := do(t, "POST", ts.URL+"/query/stream", QueryRequest{Query: "r"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	tuples, trailer := parseStream(t, body)
+	if tuples == 0 {
+		t.Fatal("panic fired before any tuple shipped; the hook should allow the first batch")
+	}
+	if trailer.Done || !strings.Contains(trailer.Error, "panicked") {
+		t.Fatalf("trailer = %+v; want done=false with a panic error", trailer)
+	}
+	if got := srv.snapshotMetrics().PanicsRecovered; got != 1 {
+		t.Fatalf("PanicsRecovered = %d, want 1", got)
+	}
+}
+
+// The robustness instruments are exposed in both formats: the JSON
+// field names the ops tooling keys on, and well-formed Prometheus
+// families on the text exposition.
+func TestRobustnessMetricsExposition(t *testing.T) {
+	_, ts := newGovTestServer(t, Config{Workers: 1})
+
+	_, body := do(t, "GET", ts.URL+"/metrics", nil)
+	for _, field := range []string{
+		`"panicsRecovered":0`, `"queriesTimedOut":0`, `"queriesShed":0`,
+		`"walWriteErrors":0`, `"degraded":false`,
+		`"queriesInflight":0`, `"queriesQueued":0`,
+	} {
+		if !strings.Contains(string(body), field) {
+			t.Errorf("JSON metrics missing %s", field)
+		}
+	}
+
+	req, err := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	prom := buf.String()
+	for _, line := range []string{
+		"# TYPE tpset_panics_recovered_total counter",
+		"tpset_panics_recovered_total 0",
+		"# TYPE tpset_queries_timed_out_total counter",
+		"tpset_queries_timed_out_total 0",
+		"# TYPE tpset_queries_shed_total counter",
+		"tpset_queries_shed_total 0",
+		"# TYPE tpset_wal_write_errors_total counter",
+		"tpset_wal_write_errors_total 0",
+		"# TYPE tpset_degraded gauge",
+		"tpset_degraded 0",
+		"# TYPE tpset_queries_inflight gauge",
+		"tpset_queries_inflight 0",
+		"# TYPE tpset_queries_queued gauge",
+		"tpset_queries_queued 0",
+	} {
+		if !strings.Contains(prom, line) {
+			t.Errorf("Prometheus exposition missing %q", line)
+		}
+	}
+}
+
+// --- helpers ---
+
+// newGovTestServer builds a server under cfg seeded with two synthetic
+// relations big enough to stream several batches (r: 2000 tuples, s:
+// 500).
+func newGovTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	govSeed(t, s, "r", 1)
+	govSeed(t, s, "s", 2)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func govSeed(t *testing.T, s *Server, name string, seed int64) {
+	t.Helper()
+	n := 2000
+	if name != "r" {
+		n = 500
+	}
+	rel := datagen.Synthetic(datagen.SyntheticConfig{
+		Name: name, NumTuples: n, NumFacts: 40, MaxLen: 4, MaxGap: 2, Seed: seed,
+	})
+	if _, err := s.Load(name, rel); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// parseStream decodes every NDJSON line of a stream body, returning the
+// tuple-line count and the final trailer; malformed framing fails the
+// test — that is the invariant the abort paths must preserve.
+func parseStream(t *testing.T, body []byte) (tuples int, trailer StreamTrailer) {
+	t.Helper()
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	var last []byte
+	for sc.Scan() {
+		line := sc.Bytes()
+		var v json.RawMessage
+		if err := json.Unmarshal(line, &v); err != nil {
+			t.Fatalf("stream line %d is not valid JSON: %v\n%s", lines, err, line)
+		}
+		last = append([]byte(nil), line...)
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines < 2 {
+		t.Fatalf("stream had %d lines; want meta + trailer at least", lines)
+	}
+	if err := json.Unmarshal(last, &trailer); err != nil {
+		t.Fatalf("trailer does not parse: %v\n%s", err, last)
+	}
+	return lines - 2, trailer // minus meta line and trailer
+}
+
+// lastTrailer parses only the final line of a stream body.
+func lastTrailer(t *testing.T, body []byte) StreamTrailer {
+	t.Helper()
+	_, trailer := parseStream(t, body)
+	return trailer
+}

@@ -34,6 +34,10 @@ type serverMetrics struct {
 
 	segmentsRestored obs.Counter // segments recovered from the data dir at startup
 
+	panicsRecovered obs.Counter // handler panics converted to 500s / error trailers
+	queriesTimedOut obs.Counter // queries killed by the evaluation deadline
+	queriesShed     obs.Counter // queries refused with 429 (gate and queue full)
+
 	parseHist   obs.Histogram // parse + optimize + catalog snapshot (prepare)
 	executeHist obs.Histogram // evaluation (cache lookup or engine drain)
 	encodeHist  obs.Histogram // response encoding (materialized path)
@@ -81,12 +85,25 @@ type Metrics struct {
 	// catalog at startup (0 without -data-dir): the restart-durability
 	// smoke asserts on it to prove a restart served from segments, not
 	// re-ingestion.
-	SegmentsRestored uint64           `json:"segmentsRestored"`
-	Cache            CacheStats       `json:"cache"`
-	BatchPool        BatchPoolMetrics `json:"batchPool"`
-	Phases           PhaseMetrics     `json:"phases"`
-	Runtime          RuntimeMetrics   `json:"runtime"`
-	UptimeSec        int64            `json:"uptimeSec"`
+	SegmentsRestored uint64 `json:"segmentsRestored"`
+	// Robustness counters: panics converted to clean failures, queries
+	// killed by their deadline, queries shed by the admission gate, WAL
+	// write failures observed by the store, and the degraded latch.
+	PanicsRecovered uint64 `json:"panicsRecovered"`
+	QueriesTimedOut uint64 `json:"queriesTimedOut"`
+	QueriesShed     uint64 `json:"queriesShed"`
+	WALWriteErrors  uint64 `json:"walWriteErrors"`
+	Degraded        bool   `json:"degraded"`
+	DegradedReason  string `json:"degradedReason,omitempty"`
+	// QueriesInflight / QueriesQueued are the admission gate's gauges:
+	// evaluation slots held and callers waiting right now.
+	QueriesInflight int              `json:"queriesInflight"`
+	QueriesQueued   int64            `json:"queriesQueued"`
+	Cache           CacheStats       `json:"cache"`
+	BatchPool       BatchPoolMetrics `json:"batchPool"`
+	Phases          PhaseMetrics     `json:"phases"`
+	Runtime         RuntimeMetrics   `json:"runtime"`
+	UptimeSec       int64            `json:"uptimeSec"`
 }
 
 // snapshotMetrics reads every instrument atomically into the JSON body.
@@ -94,6 +111,11 @@ func (s *Server) snapshotMetrics() Metrics {
 	gets, puts, news, drops := core.BatchPoolStats()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
+	var degradedReason string
+	degraded := s.storeDegraded()
+	if degraded != nil {
+		degradedReason = degraded.Error()
+	}
 	return Metrics{
 		Relations:        s.catalog.Len(),
 		CatalogClock:     s.catalog.Clock(),
@@ -107,6 +129,14 @@ func (s *Server) snapshotMetrics() Metrics {
 		Admissions:       s.metrics.admissions.Load(),
 		TuplesAdmitted:   s.metrics.tuplesAdmitted.Load(),
 		SegmentsRestored: s.metrics.segmentsRestored.Load(),
+		PanicsRecovered:  s.metrics.panicsRecovered.Load(),
+		QueriesTimedOut:  s.metrics.queriesTimedOut.Load(),
+		QueriesShed:      s.metrics.queriesShed.Load(),
+		WALWriteErrors:   s.storeWALErrors(),
+		Degraded:         degraded != nil,
+		DegradedReason:   degradedReason,
+		QueriesInflight:  s.gate.inflight(),
+		QueriesQueued:    s.gate.queuedNow(),
 		Cache:            s.cache.Stats(),
 		BatchPool:        BatchPoolMetrics{Gets: gets, Puts: puts, Misses: news, Drops: drops},
 		Phases: PhaseMetrics{
@@ -173,6 +203,18 @@ func (s *Server) writeMetricsProm(w http.ResponseWriter) {
 	obs.WriteCounterProm(w, "tpset_relation_admissions_total", "Relations admitted to the catalog.", m.admissions.Load())
 	obs.WriteCounterProm(w, "tpset_relation_tuples_admitted_total", "Tuples admitted across all admissions.", m.tuplesAdmitted.Load())
 	obs.WriteGaugeProm(w, "tpset_segments_restored", "On-disk segments recovered into the catalog at startup.", float64(m.segmentsRestored.Load()))
+
+	obs.WriteCounterProm(w, "tpset_panics_recovered_total", "Handler panics converted to clean failures.", m.panicsRecovered.Load())
+	obs.WriteCounterProm(w, "tpset_queries_timed_out_total", "Queries killed by the evaluation deadline.", m.queriesTimedOut.Load())
+	obs.WriteCounterProm(w, "tpset_queries_shed_total", "Queries refused with 429 under overload.", m.queriesShed.Load())
+	obs.WriteCounterProm(w, "tpset_wal_write_errors_total", "WAL append/fsync failures observed by the segment store.", s.storeWALErrors())
+	degraded := 0.0
+	if s.storeDegraded() != nil {
+		degraded = 1.0
+	}
+	obs.WriteGaugeProm(w, "tpset_degraded", "1 while the store is in degraded read-only mode.", degraded)
+	obs.WriteGaugeProm(w, "tpset_queries_inflight", "Evaluation slots currently held.", float64(s.gate.inflight()))
+	obs.WriteGaugeProm(w, "tpset_queries_queued", "Queries currently waiting for an evaluation slot.", float64(s.gate.queuedNow()))
 
 	cs := s.cache.Stats()
 	obs.WriteCounterProm(w, "tpset_cache_hits_total", "Result-cache hits.", cs.Hits)

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
@@ -34,6 +35,22 @@ type Config struct {
 	// attached to request contexts and the handler chain has no logging
 	// wrapper, so the unlogged server is exactly the PR 5 handler stack.
 	Logger *slog.Logger
+	// QueryTimeout bounds each query's evaluation wall time. A request's
+	// timeoutMillis can tighten it but never exceed it; expiry answers
+	// 504. Zero means no server-side deadline.
+	QueryTimeout time.Duration
+	// MaxConcurrent bounds the queries evaluating at once. Zero picks
+	// 4x GOMAXPROCS; negative disables admission control entirely.
+	MaxConcurrent int
+	// MaxQueued bounds the queries waiting for an evaluation slot;
+	// overflow is shed with 429 + Retry-After. Zero picks 4x the
+	// concurrency bound; negative means no queue (immediate shed).
+	MaxQueued int
+	// MaxResultTuples bounds the result size a single query may
+	// produce: the materialized path answers 422, a stream aborts with
+	// an NDJSON error trailer. A budget violation is a client error,
+	// never a silent truncation. Zero means unlimited.
+	MaxResultTuples int
 }
 
 // DefaultCacheSize is the result-cache capacity when Config leaves it 0.
@@ -51,6 +68,7 @@ type Server struct {
 	started time.Time
 	metrics serverMetrics
 	mut     mutGate
+	gate    *admissionGate // nil = unlimited (Config.MaxConcurrent < 0)
 }
 
 // mutGate serializes catalog mutations with their mirror into the
@@ -92,10 +110,10 @@ func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) *htt
 	if err := json.NewDecoder(body).Decode(v); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			return &httpError{http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)}
+			return &httpError{status: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)}
 		}
-		return &httpError{http.StatusBadRequest, fmt.Sprintf("decoding body: %v", err)}
+		return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf("decoding body: %v", err)}
 	}
 	return nil
 }
@@ -115,6 +133,7 @@ func New(cfg Config) *Server {
 		cache:   NewCache(size),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
+		gate:    newGate(cfg.MaxConcurrent, cfg.MaxQueued),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -129,14 +148,52 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the HTTP handler serving the API. With a configured
-// logger it is wrapped in the request-logging middleware; without one
-// it is the bare mux.
+// Handler returns the HTTP handler serving the API: the mux inside the
+// panic-recovery net, inside (with a configured logger) the
+// request-logging middleware. Recovery sits innermost so the log line
+// still records the 500 it produces.
 func (s *Server) Handler() http.Handler {
+	h := s.recoverPanics(s.mux)
 	if s.cfg.Logger == nil {
-		return s.mux
+		return h
 	}
-	return s.requestLog(s.mux)
+	return s.requestLog(h)
+}
+
+// recoverPanics is the safety net under every handler: a panic must
+// cost its own request a 500, not the process — on a query server, one
+// malformed edge case in one operator must not take down the catalog
+// everyone else is reading. The stack goes to the structured log and
+// the panicsRecovered counter; the 500 is written only when the handler
+// had not started a response (a mid-stream panic is handled inside the
+// stream handler itself, which can still terminate its NDJSON framing
+// validly — see handleQueryStream).
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			s.metrics.panicsRecovered.Inc()
+			lg := obs.Logger(r.Context())
+			if lg == nil {
+				lg = s.cfg.Logger
+			}
+			if lg != nil {
+				lg.LogAttrs(r.Context(), slog.LevelError, "panic recovered",
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.Any("panic", p),
+					slog.String("stack", string(debug.Stack())))
+			}
+			if rec.code == 0 {
+				writeError(rec, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(rec, r)
+	})
 }
 
 // requestLog is the logging middleware: it mints a request ID, attaches
@@ -220,36 +277,62 @@ func (s *Server) AttachStore(st *segment.Store) error {
 // putRelation is the shared tail of Load and PUT: admit into the
 // catalog, invalidate dependent cache entries, and mirror the admission
 // (plus any dictionary-rebuild sibling rewrites) into the attached
-// store. The WAL fsync inside store.Put is the durability point — a
-// persist error is returned so the caller answers non-2xx and the
-// client cannot take the write as durable, even though the in-memory
-// catalog is already ahead of disk (the next successful mutation or
-// restart re-converges them).
+// store. The WAL fsync inside store.Put is the durability point.
+//
+// Failure discipline: a degraded store refuses the mutation before the
+// catalog is touched (503); a store.Put that returns an error never
+// acknowledged, so the catalog mutation is rolled back and the client
+// sees 503/500 over a catalog identical to the one before the request —
+// memory and disk agree throughout. A Put that acknowledged (WAL fsync
+// succeeded) returns nil even if the deferred segment apply then
+// degraded the store, so no rollback happens in that case either.
 func (s *Server) putRelation(name string, rel *relation.Relation) (version uint64, existed bool, err error) {
 	s.mut.mu.Lock()
 	defer s.mut.mu.Unlock()
+	if err := s.degradedLocked(); err != nil {
+		return 0, false, err
+	}
+	var cp Checkpoint
+	if s.mut.store != nil {
+		cp = s.catalog.Checkpoint()
+	}
 	version, existed, rebound := s.catalog.PutRebound(name, rel)
 	s.cache.InvalidateRelation(name)
 	if s.mut.store != nil {
-		if err := s.mut.store.Put(name, rel, rebound); err != nil {
-			return version, existed, fmt.Errorf("persisting relation %q: %w", name, err)
+		if perr := s.mut.store.Put(name, rel, rebound); perr != nil {
+			s.catalog.Rollback(cp)
+			// Re-invalidate: a concurrent query may have cached a result
+			// against the rolled-back version between the install above
+			// and the rollback. The entry could never be served again
+			// (versions are monotonic), but there is no reason to keep it.
+			s.cache.InvalidateRelation(name)
+			return 0, false, persistError("relation", name, perr)
 		}
 	}
 	return version, existed, nil
 }
 
-// dropRelation is the shared tail of Drop and DELETE; like putRelation
-// it serializes the catalog mutation with its WAL mirror.
+// dropRelation is the shared tail of Drop and DELETE; same
+// serialization and same failure discipline as putRelation.
 func (s *Server) dropRelation(name string) (existed bool, invalidated int, err error) {
 	s.mut.mu.Lock()
 	defer s.mut.mu.Unlock()
+	if err := s.degradedLocked(); err != nil {
+		return false, 0, err
+	}
+	var cp Checkpoint
+	if s.mut.store != nil {
+		cp = s.catalog.Checkpoint()
+	}
 	if !s.catalog.Drop(name) {
 		return false, 0, nil
 	}
 	invalidated = s.cache.InvalidateRelation(name)
 	if s.mut.store != nil {
-		if err := s.mut.store.Drop(name); err != nil {
-			return true, invalidated, fmt.Errorf("persisting drop of %q: %w", name, err)
+		if perr := s.mut.store.Drop(name); perr != nil {
+			s.catalog.Rollback(cp)
+			s.cache.InvalidateRelation(name)
+			return true, invalidated, persistError("drop of", name, perr)
 		}
 	}
 	return true, invalidated, nil
@@ -326,6 +409,11 @@ type QueryRequest struct {
 	// /query/stream). A traced request skips the cache lookup — a cached
 	// result has no execution to trace — but still stores its result.
 	Trace bool `json:"trace,omitempty"`
+	// TimeoutMillis bounds this request's evaluation wall time. It can
+	// tighten the server's QueryTimeout but never exceed it; expiry
+	// answers 504 (an NDJSON error trailer on the stream path). 0 means
+	// the server default.
+	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
 }
 
 // QueryResponse is the body of a successful POST /query.
@@ -369,18 +457,22 @@ type preparedQuery struct {
 func (s *Server) prepare(req QueryRequest) (*preparedQuery, error) {
 	defer func(t0 time.Time) { s.metrics.parseHist.Observe(time.Since(t0)) }(time.Now())
 	if req.Workers < 0 || req.Workers > MaxWorkers {
-		return nil, &httpError{http.StatusBadRequest,
-			fmt.Sprintf("workers %d out of range [0, %d] (0 = server default)", req.Workers, MaxWorkers)}
+		return nil, &httpError{status: http.StatusBadRequest,
+			msg: fmt.Sprintf("workers %d out of range [0, %d] (0 = server default)", req.Workers, MaxWorkers)}
+	}
+	if req.TimeoutMillis < 0 {
+		return nil, &httpError{status: http.StatusBadRequest,
+			msg: fmt.Sprintf("timeoutMillis %d is negative (0 = server default)", req.TimeoutMillis)}
 	}
 	node, err := query.Parse(req.Query)
 	if err != nil {
-		return nil, &httpError{http.StatusBadRequest, err.Error()}
+		return nil, &httpError{status: http.StatusBadRequest, msg: err.Error()}
 	}
 	optimized := query.PushDownSelections(node)
 	names := query.Relations(optimized)
 	db, versions, err := s.catalog.Snapshot(names)
 	if err != nil {
-		return nil, &httpError{http.StatusNotFound, err.Error()}
+		return nil, &httpError{status: http.StatusNotFound, msg: err.Error()}
 	}
 	workers := req.Workers
 	if workers == 0 {
@@ -413,6 +505,13 @@ func (s *Server) RunQuery(req QueryRequest) (*QueryResponse, error) {
 // runs under a span tree and the response carries its snapshot; a
 // traced request skips the cache lookup, since a hit would have no
 // execution to trace, but still stores the result it computes.
+//
+// Evaluation runs under the resource-governance stack: the effective
+// deadline (request timeoutMillis capped by the server QueryTimeout; a
+// deadline answers 504), the admission gate (a full queue answers 429
+// with Retry-After), and the result-tuple budget (overflow answers 422
+// and is never cached). Cache hits bypass the gate — they do no
+// evaluation work.
 func (s *Server) RunQueryCtx(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
 	pq, err := s.prepare(req)
 	if err != nil {
@@ -447,6 +546,16 @@ func (s *Server) RunQueryCtx(ctx context.Context, req QueryRequest) (*QueryRespo
 		}
 	}
 
+	qctx, cancel := s.queryContext(ctx, req)
+	defer cancel()
+	if err := s.gate.acquire(qctx); err != nil {
+		return nil, s.admissionError(err)
+	}
+	defer s.gate.release()
+	if testHookEvalStart != nil {
+		testHookEvalStart(qctx)
+	}
+
 	opts := engineOptions(req)
 	var span *obs.Span
 	if req.Trace {
@@ -454,15 +563,21 @@ func (s *Server) RunQueryCtx(ctx context.Context, req QueryRequest) (*QueryRespo
 		opts.Span = span
 		s.metrics.traced.Inc()
 	}
-	out, err := engine.New(engine.Config{Workers: pq.workers}).
-		EvalCursorCtx(ctx, pq.optimized, pq.db, opts)
+	cur, err := engine.New(engine.Config{Workers: pq.workers}).
+		CursorCtx(qctx, pq.optimized, pq.db, opts)
 	if err != nil {
-		return nil, &httpError{http.StatusUnprocessableEntity, err.Error()}
+		return nil, &httpError{status: http.StatusUnprocessableEntity, msg: err.Error()}
 	}
-	if err := ctx.Err(); err != nil {
+	out, within := core.MaterializeLimit(cur, s.cfg.MaxResultTuples)
+	cur.Close()
+	if err := qctx.Err(); err != nil {
 		// Cancelled mid-drain: the materialized result may be truncated.
-		// Report the cancellation and above all do not cache it.
-		return nil, &httpError{http.StatusInternalServerError, err.Error()}
+		// Report the failure and above all do not cache it.
+		return nil, s.evalContextError(err)
+	}
+	if !within {
+		return nil, &httpError{status: http.StatusUnprocessableEntity,
+			msg: fmt.Sprintf("result exceeds the server's maxResultTuples budget (%d); narrow the query or use /query/stream", s.cfg.MaxResultTuples)}
 	}
 	s.metrics.evaluations.Inc()
 	if !req.NoCache {
@@ -477,6 +592,40 @@ func (s *Server) RunQueryCtx(ctx context.Context, req QueryRequest) (*QueryRespo
 	}
 	return resp, nil
 }
+
+// queryContext applies the effective evaluation deadline: the request's
+// timeoutMillis tightened by — never exceeding — the server's
+// QueryTimeout. Without either, the caller's context passes through
+// untouched.
+func (s *Server) queryContext(ctx context.Context, req QueryRequest) (context.Context, context.CancelFunc) {
+	d := s.cfg.QueryTimeout
+	if req.TimeoutMillis > 0 {
+		rd := time.Duration(req.TimeoutMillis) * time.Millisecond
+		if d <= 0 || rd < d {
+			d = rd
+		}
+	}
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// evalContextError maps a context failure observed after evaluation: a
+// fired deadline is 504 (counted), a client cancellation stays a plain
+// 500 — the client is gone and will not read the status anyway.
+func (s *Server) evalContextError(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.metrics.queriesTimedOut.Inc()
+		return &httpError{status: http.StatusGatewayTimeout, msg: "query deadline exceeded"}
+	}
+	return &httpError{status: http.StatusInternalServerError, msg: err.Error()}
+}
+
+// testHookEvalStart, when non-nil, runs after a query passes the
+// admission gate and before the engine starts — the seam the overload
+// and panic tests use to hold slots occupied or to blow up evaluation.
+var testHookEvalStart func(ctx context.Context)
 
 // encodeTimed encodes a result relation, charging the encode-phase
 // histogram.
@@ -494,10 +643,12 @@ func engineOptions(req QueryRequest) core.Options {
 	return core.Options{AssumeSorted: true, LazyProb: req.LazyProb}
 }
 
-// httpError carries a status code through the service layer.
+// httpError carries a status code through the service layer, plus an
+// optional Retry-After hint in seconds (shed and degraded responses).
 type httpError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter int
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -524,15 +675,24 @@ var buildVersion = func() (v struct{ Version, Revision string }) {
 	return v
 }()
 
+// handleHealthz reports liveness plus the degraded-store state. The
+// status code stays 200 even while degraded — reads are still served,
+// and a load balancer that wants to drain writers should key on the
+// status field, not kill a node that is serving queries fine.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":        "ok",
 		"relations":     s.catalog.Len(),
 		"uptimeSec":     int64(time.Since(s.started).Seconds()),
 		"goVersion":     runtime.Version(),
 		"buildVersion":  buildVersion.Version,
 		"buildRevision": buildVersion.Revision,
-	})
+	}
+	if cause := s.storeDegraded(); cause != nil {
+		body["status"] = "degraded"
+		body["degradedReason"] = cause.Error()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleListRelations(w http.ResponseWriter, _ *http.Request) {
@@ -562,7 +722,7 @@ func (s *Server) handlePutRelation(w http.ResponseWriter, r *http.Request) {
 	}
 	version, existed, err := s.putRelation(name, rel)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeErrStatus(w, err)
 		return
 	}
 	status := http.StatusCreated
@@ -588,7 +748,7 @@ func (s *Server) handleDeleteRelation(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	existed, invalidated, err := s.dropRelation(name)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeErrStatus(w, err)
 		return
 	}
 	if !existed {
@@ -659,11 +819,18 @@ func (s *Server) handleQueryExplain(w http.ResponseWriter, r *http.Request) {
 		writeErrStatus(w, err)
 		return
 	}
+	qctx, cancel := s.queryContext(r.Context(), req)
+	defer cancel()
+	if err := s.gate.acquire(qctx); err != nil {
+		writeErrStatus(w, s.admissionError(err))
+		return
+	}
+	defer s.gate.release()
 	span := obs.NewSpan("")
 	opts := engineOptions(req)
 	opts.Span = span
 	cur, err := engine.New(engine.Config{Workers: pq.workers}).
-		CursorCtx(r.Context(), pq.optimized, pq.db, opts)
+		CursorCtx(qctx, pq.optimized, pq.db, opts)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
@@ -681,6 +848,12 @@ func (s *Server) handleQueryExplain(w http.ResponseWriter, r *http.Request) {
 	core.PutBatch(b)
 	elapsed := time.Since(start)
 	s.metrics.executeHist.Observe(elapsed)
+	if err := qctx.Err(); err != nil {
+		// The drain stopped early; the trace would describe a partial
+		// execution. Report the deadline instead of a misleading tree.
+		writeErrStatus(w, s.evalContextError(err))
+		return
+	}
 
 	writeJSON(w, http.StatusOK, ExplainResponse{
 		Query:         pq.canonical,
@@ -694,11 +867,15 @@ func (s *Server) handleQueryExplain(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeErrStatus writes a service-layer error, mapping httpError to its
-// status and anything else to 500.
+// status (emitting its Retry-After hint when set) and anything else to
+// 500.
 func writeErrStatus(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	if he, ok := err.(*httpError); ok {
 		status = he.status
+		if he.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(he.retryAfter))
+		}
 	}
 	writeError(w, status, err.Error())
 }

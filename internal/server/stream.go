@@ -2,9 +2,14 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -109,11 +114,17 @@ type StreamMeta struct {
 	Attrs []string `json:"attrs"`
 }
 
-// StreamTrailer is the last NDJSON line of a complete stream.
+// StreamTrailer is the last NDJSON line of a stream. A complete stream
+// ends {"done":true,...}; a stream the server had to abort — deadline,
+// result budget, recovered panic — ends with done:false and Error set,
+// still on a valid NDJSON line, so clients distinguish "server said
+// stop, and why" from a connection that just died.
 type StreamTrailer struct {
 	Done          bool  `json:"done"`
 	Tuples        int   `json:"tuples"`
 	ElapsedMicros int64 `json:"elapsedMicros"`
+	// Error is why the stream was aborted; empty on a complete stream.
+	Error string `json:"error,omitempty"`
 	// Trace is the per-operator stats tree, present only when the request
 	// set trace — snapshotted after the drain, so its counts cover the
 	// whole stream. Untraced trailers are byte-identical to previous
@@ -133,6 +144,20 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Admission and deadline run before any byte is written, so shed and
+	// queued-timeout responses are ordinary status codes; once streaming
+	// starts, failures can only be reported through the trailer.
+	qctx, cancel := s.queryContext(r.Context(), req)
+	defer cancel()
+	if err := s.gate.acquire(qctx); err != nil {
+		writeErrStatus(w, s.admissionError(err))
+		return
+	}
+	defer s.gate.release()
+	if testHookEvalStart != nil {
+		testHookEvalStart(qctx)
+	}
+
 	opts := engineOptions(req)
 	var span *obs.Span
 	if req.Trace {
@@ -140,11 +165,11 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		opts.Span = span
 		s.metrics.traced.Inc()
 	}
-	// The request context cancels the shard producers when the client
-	// disconnects mid-stream — the engine stops computing tuples nobody
-	// will read.
+	// The context cancels the shard producers when the client
+	// disconnects mid-stream or the deadline fires — the engine stops
+	// computing tuples nobody will read.
 	cur, err := engine.New(engine.Config{Workers: pq.workers}).
-		CursorCtx(r.Context(), pq.optimized, pq.db, opts)
+		CursorCtx(qctx, pq.optimized, pq.db, opts)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
@@ -168,6 +193,33 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	// se.enc writes into the sized buffer; Encode terminates every value
 	// with '\n': NDJSON framing.
 
+	// Mid-stream panic net: the 200 and part of the body are already on
+	// the wire, so the outer recoverPanics middleware could not keep the
+	// framing valid. Recovering here can — resetting the bufio.Writer
+	// discards any half-encoded line still in the buffer, so the error
+	// trailer lands on a fresh line and the stream terminates as valid
+	// NDJSON with done:false. Registered after the encoder defers, so it
+	// runs before them (LIFO) and still owns a live encoder.
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		s.metrics.panicsRecovered.Inc()
+		lg := obs.Logger(r.Context())
+		if lg == nil {
+			lg = s.cfg.Logger
+		}
+		if lg != nil {
+			lg.LogAttrs(r.Context(), slog.LevelError, "panic recovered mid-stream",
+				slog.Any("panic", p),
+				slog.String("stack", string(debug.Stack())))
+		}
+		se.bw.Reset(cw)
+		_ = se.enc.Encode(StreamTrailer{Error: "internal error: evaluation panicked mid-stream"})
+		flush()
+	}()
+
 	schema := cur.Schema()
 	start := time.Now()
 	meta := StreamMeta{
@@ -187,8 +239,24 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 
 	count := 0
 	first := true
+	limit := s.cfg.MaxResultTuples
 	b := core.NewBatch(streamRampBatch) // unpooled: stream-local cadence sizes
 	for cur.NextBatch(b) {
+		if testHookStreamBatch != nil {
+			testHookStreamBatch(count)
+		}
+		if limit > 0 && count+len(b.Tuples) > limit {
+			// The batch in hand proves the result exceeds the budget;
+			// abort without shipping the overflow. Done stays false.
+			_ = se.enc.Encode(StreamTrailer{
+				Tuples:        count,
+				ElapsedMicros: time.Since(start).Microseconds(),
+				Error:         fmt.Sprintf("result exceeds the server's maxResultTuples budget (%d); stream aborted", limit),
+			})
+			flush()
+			s.metrics.tuplesStreamed.Add(uint64(count))
+			return
+		}
 		if b.HasCols() {
 			// Columnar block: the encoder's read side runs over the
 			// packed Ts/Te/Prob/Lam columns instead of walking tuple
@@ -220,13 +288,32 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	s.metrics.streamHist.Observe(elapsed)
 	s.metrics.tuplesStreamed.Add(uint64(count))
 	trailer := StreamTrailer{
-		Done:          true,
 		Tuples:        count,
 		ElapsedMicros: elapsed.Microseconds(),
 	}
+	if err := qctx.Err(); err != nil {
+		// The drain ended because the deadline fired (or the client
+		// vanished), not because the stream completed: the trailer says
+		// so instead of claiming done.
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.metrics.queriesTimedOut.Inc()
+			trailer.Error = "query deadline exceeded; stream truncated"
+		} else {
+			trailer.Error = "request cancelled; stream truncated"
+		}
+		_ = se.enc.Encode(trailer)
+		flush()
+		return
+	}
+	trailer.Done = true
 	if span != nil {
 		trailer.Trace = span.Snapshot()
 	}
 	_ = se.enc.Encode(trailer)
 	flush()
 }
+
+// testHookStreamBatch, when non-nil, runs once per drained batch with
+// the tuple count shipped so far — the seam the mid-stream panic test
+// uses to blow up after framing has started.
+var testHookStreamBatch func(shipped int)
